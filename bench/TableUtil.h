@@ -1,0 +1,66 @@
+//===- bench/TableUtil.h - Shared reporting for the bench binaries -------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_BENCH_TABLEUTIL_H
+#define DHPF_BENCH_TABLEUTIL_H
+
+#include "core/Compiler.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dhpf {
+namespace bench {
+
+/// One compile-time column of the Table 1 report.
+struct CompileColumn {
+  std::string Name;
+  const PhaseTimers *Timers = nullptr;
+};
+
+/// Prints the Table 1 layout: wall-clock total plus each phase's share.
+inline void printTable1(const std::vector<CompileColumn> &Cols) {
+  auto Pct = [](const PhaseTimers &T, const char *Phase) {
+    double Tot = T.seconds(core::phase::Total);
+    return Tot > 0 ? 100.0 * T.seconds(Phase) / Tot : 0.0;
+  };
+  std::printf("%-42s", "Breakdown of compilation time");
+  for (const CompileColumn &C : Cols)
+    std::printf(" | %10s", C.Name.c_str());
+  std::printf("\n");
+  std::printf("%-42s", "total compilation wall-clock time (s)");
+  for (const CompileColumn &C : Cols)
+    std::printf(" | %9.2fs", C.Timers->seconds(core::phase::Total));
+  std::printf("\n");
+  const char *Rows[] = {
+      core::phase::Interproc,      core::phase::Partitioning,
+      core::phase::LoopSplitting,  core::phase::BoundsReduction,
+      core::phase::CommGeneration, core::phase::CommEquations,
+      core::phase::CommLoops,      core::phase::ContigCheck,
+      core::phase::RectCheck,      core::phase::OptGenerated,
+      core::phase::MMCodegen,
+  };
+  for (const char *Row : Rows) {
+    std::printf("%-42s", Row);
+    for (const CompileColumn &C : Cols) {
+      // "communication generation" aggregates its sub-phases.
+      double P = Pct(*C.Timers, Row);
+      if (std::string(Row) == core::phase::CommGeneration)
+        P += Pct(*C.Timers, core::phase::CommEquations) +
+             Pct(*C.Timers, core::phase::CommLoops) +
+             Pct(*C.Timers, core::phase::ContigCheck) +
+             Pct(*C.Timers, core::phase::RectCheck);
+      std::printf(" | %9.1f%%", P);
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace bench
+} // namespace dhpf
+
+#endif // DHPF_BENCH_TABLEUTIL_H

@@ -1,0 +1,59 @@
+//===- bench/bench_ablation_formulation.cpp - Formulation ablation --------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// Ablation for Section 5 ("Minimizing intermediate set sizes"): the paper
+// reports that combining the DataAccessed maps for all reads before the
+// downstream equations — rather than applying equations (4)-(7) per
+// reference and unioning at the end — keeps intermediate disjunction
+// counts (and compile time) down. Also covers coalescing on/off (one
+// event per reference versus one per array).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/Compiler.h"
+
+#include <cstdio>
+
+using namespace dhpf;
+using namespace dhpf::apps;
+using namespace dhpf::core;
+
+namespace {
+
+double compileSeconds(const AppInstance &App, CompilerOptions Opts,
+                      unsigned &Events) {
+  auto C = compileProgram(*App.Prog, Opts);
+  Events = C->NumCommEvents;
+  return C->Timers.seconds(phase::Total);
+}
+
+void runCase(const char *Name,
+             const std::function<AppInstance()> &Make) {
+  CompilerOptions Combined, PerRef, NoCoalesce;
+  PerRef.CombinedFormulation = false;
+  NoCoalesce.Coalescing = false;
+  unsigned E1, E2, E3;
+  double T1 = compileSeconds(Make(), Combined, E1);
+  double T2 = compileSeconds(Make(), PerRef, E2);
+  double T3 = compileSeconds(Make(), NoCoalesce, E3);
+  std::printf("%-22s %9.3f %12.3f (%4.2fx) %12.3f (%4.2fx)  events %u/%u/%u\n",
+              Name, T1, T2, T2 / T1, T3, T3 / T1, E1, E2, E3);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation: comm-equation formulation (Section 5) ==\n");
+  std::printf("%-22s %9s %20s %20s\n", "code", "comb(s)", "per-ref(s)",
+              "no-coalesce(s)");
+  runCase("jacobi 64", [] { return makeJacobi(64, 1); });
+  runCase("tomcatv 130", [] { return makeTomcatv(130, 1); });
+  runCase("erlebacher 32", [] { return makeErlebacher(32, 1); });
+  runCase("sp-like 10 procs", [] { return makeSpLike(10, true); });
+  std::printf("\nthe combined formulation (paper Section 5) should be the "
+              "cheapest; per-reference\nequations and uncoalesced events "
+              "multiply set operations and messages.\n");
+  return 0;
+}

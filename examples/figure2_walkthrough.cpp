@@ -1,0 +1,67 @@
+//===- examples/figure2_walkthrough.cpp - The paper's Figure 2, live -----===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// Constructs and prints the primitive sets and mappings of the paper's
+// Figure 2 from the example HPF fragment:
+//
+//   real A(0:99,100), B(100,100)
+//   processors P(4)
+//   template T(100,100)
+//   align A(i,j) with T(i+1,j)
+//   align B(i,j) with T(*,i)
+//   distribute T(*,block) onto P
+//   do i = 1, N
+//     do j = 2, N+1
+//       A(i,j) = B(j-1,i)        ! ON_HOME B(j-1,i)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Partition.h"
+#include "hpf/Maps.h"
+
+#include <cstdio>
+
+using namespace dhpf;
+using namespace dhpf::core;
+using namespace dhpf::hpf;
+
+int main() {
+  Program P("figure2");
+  P.addParam("N");
+  P.addProcs("P", {Program::procDim(4)});
+  P.addTemplate("T", {range(1, 100), range(1, 100)});
+  P.addArray("A", {range(0, 99), range(1, 100)});
+  P.addArray("B", {range(1, 100), range(1, 100)});
+  P.addAlign({"A", "T", {alignDim(0, 1, 1), alignDim(1)}});
+  P.addAlign({"B", "T", {alignStar(), alignDim(0)}});
+  P.addDistribute({"T", "P", {distStar(), distBlock()}});
+
+  ComputeNest Nest;
+  Nest.Name = "main";
+  Nest.Loops = {loop("i", 1, "N"), loop("j", 2, AffineExpr("N") + 1)};
+  Statement S;
+  S.Write = ref("A", {"i", "j"});
+  S.Reads = {ref("B", {AffineExpr("j") - 1, "i"})};
+  S.OnHome = {ref("B", {AffineExpr("j") - 1, "i"})};
+  Nest.Stmts = {S};
+
+  MapBuilder MB(P);
+  std::printf("== Figure 2: primitive sets and mappings ==\n\n");
+  std::printf("proc     = %s\n\n", MB.procSet("P").toString().c_str());
+  std::printf("Layout_A = %s\n\n",
+              MB.layout("A").Map.simplify().toString().c_str());
+  std::printf("Layout_B = %s\n\n",
+              MB.layout("B").Map.simplify().toString().c_str());
+  std::printf("loop     = %s\n\n", MB.loopSet(Nest).toString().c_str());
+  std::printf("CPRef    = %s\n\n",
+              MB.refMap(Nest, S.OnHome[0]).toString().c_str());
+
+  CPInfo CP = computeCP(MB, Nest, S);
+  std::printf("CPMap    = Layout_B o CPRef^-1, restricted to loop:\n");
+  std::printf("           %s\n\n", CP.CPMap.simplify().toString().c_str());
+  std::printf("(compare: the paper's Figure 2 gives\n"
+              "  {[p] -> [l1,l2] : 1 <= l1 <= min(N,100) &&\n"
+              "   max(2, 25p+2) <= l2 <= min(N+1, 101, 25p+26)}.)\n");
+  return 0;
+}

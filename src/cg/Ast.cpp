@@ -1,0 +1,257 @@
+//===- cg/Ast.cpp - Generated-code AST printing and execution ------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/Ast.h"
+
+#include <sstream>
+
+using namespace dhpf;
+using namespace dhpf::cg;
+
+std::string GuardAtom::str() const {
+  switch (K) {
+  case Kind::NonNeg:
+    return E.str() + " >= 0";
+  case Kind::Zero:
+    return E.str() + " == 0";
+  case Kind::ModZero:
+    return "mod(" + E.str() + "," + std::to_string(Mod) + ") == 0";
+  }
+  return "";
+}
+
+std::string Guard::str() const {
+  if (AnyOf.empty())
+    return "true";
+  std::ostringstream OS;
+  for (unsigned I = 0; I != AnyOf.size(); ++I) {
+    if (I)
+      OS << " .or. ";
+    if (AnyOf.size() > 1)
+      OS << '(';
+    for (unsigned J = 0; J != AnyOf[I].size(); ++J) {
+      if (J)
+        OS << " .and. ";
+      OS << AnyOf[I][J].str();
+    }
+    if (AnyOf[I].empty())
+      OS << "true";
+    if (AnyOf.size() > 1)
+      OS << ')';
+  }
+  return OS.str();
+}
+
+namespace {
+
+void printRec(const AstNode &N, unsigned Indent, std::ostringstream &OS) {
+  std::string Pad(Indent * 2, ' ');
+  switch (N.K) {
+  case AstNode::Kind::Block:
+    for (const AstPtr &C : N.Children)
+      printRec(*C, Indent, OS);
+    break;
+  case AstNode::Kind::Loop:
+    OS << Pad << "do " << N.VarName << " = " << N.LB.str() << ", "
+       << N.UB.str();
+    if (!N.Step.isConst(1))
+      OS << ", " << N.Step.str();
+    OS << '\n';
+    for (const AstPtr &C : N.Children)
+      printRec(*C, Indent + 1, OS);
+    OS << Pad << "enddo\n";
+    break;
+  case AstNode::Kind::If: {
+    OS << Pad << "if (";
+    for (unsigned I = 0; I != N.AllOf.size(); ++I) {
+      if (I)
+        OS << " .and. ";
+      bool Paren = N.AllOf.size() > 1 && N.AllOf[I].AnyOf.size() > 1;
+      OS << (Paren ? "(" : "") << N.AllOf[I].str() << (Paren ? ")" : "");
+    }
+    if (N.AllOf.empty())
+      OS << "true";
+    OS << ") then\n";
+    for (const AstPtr &C : N.Children)
+      printRec(*C, Indent + 1, OS);
+    OS << Pad << "endif\n";
+    break;
+  }
+  case AstNode::Kind::Leaf:
+    OS << Pad << (N.Label.empty() ? ("S" + std::to_string(N.LeafId))
+                                  : N.Label)
+       << '\n';
+    break;
+  }
+}
+
+} // namespace
+
+std::string cg::printAst(const AstNode &N, unsigned Indent) {
+  std::ostringstream OS;
+  printRec(N, Indent, OS);
+  return OS.str();
+}
+
+namespace {
+
+enum class GuardFold { True, False, Keep };
+
+/// Folds constant atoms within a guard; returns True/False when decided.
+GuardFold foldGuard(Guard &G) {
+  if (G.AnyOf.empty())
+    return GuardFold::True;
+  std::vector<std::vector<GuardAtom>> Kept;
+  for (auto &Conj : G.AnyOf) {
+    std::vector<GuardAtom> Atoms;
+    bool ConjFalse = false;
+    for (GuardAtom &A : Conj) {
+      if (A.E.kind() != Expr::Kind::Const) {
+        Atoms.push_back(A);
+        continue;
+      }
+      int64_t V = A.E.constVal();
+      bool Holds = A.K == GuardAtom::Kind::NonNeg  ? V >= 0
+                   : A.K == GuardAtom::Kind::Zero ? V == 0
+                                                  : floorMod(V, A.Mod) == 0;
+      if (!Holds) {
+        ConjFalse = true;
+        break;
+      }
+      // A constant-true atom: drop it.
+    }
+    if (ConjFalse)
+      continue;
+    if (Atoms.empty())
+      return GuardFold::True; // one branch is unconditionally true
+    Kept.push_back(std::move(Atoms));
+  }
+  if (Kept.empty())
+    return GuardFold::False;
+  G.AnyOf = std::move(Kept);
+  return GuardFold::Keep;
+}
+
+unsigned optimizeRec(AstPtr &N) {
+  unsigned Removed = 0;
+  // Optimize children first.
+  std::vector<AstPtr> NewChildren;
+  for (AstPtr &C : N->Children) {
+    Removed += optimizeRec(C);
+    if (!C) {
+      ++Removed;
+      continue;
+    }
+    // Flatten nested blocks.
+    if (C->K == AstNode::Kind::Block) {
+      if (C->Children.empty()) {
+        ++Removed;
+        continue;
+      }
+      for (AstPtr &GC : C->Children)
+        NewChildren.push_back(std::move(GC));
+      continue;
+    }
+    NewChildren.push_back(std::move(C));
+  }
+  N->Children = std::move(NewChildren);
+
+  switch (N->K) {
+  case AstNode::Kind::Leaf:
+    return Removed;
+  case AstNode::Kind::Loop:
+    if (N->LB.kind() == Expr::Kind::Const &&
+        N->UB.kind() == Expr::Kind::Const &&
+        N->LB.constVal() > N->UB.constVal()) {
+      N.reset();
+      return Removed + 1;
+    }
+    if (N->Children.empty()) {
+      N.reset();
+      return Removed + 1;
+    }
+    return Removed;
+  case AstNode::Kind::If: {
+    std::vector<Guard> Kept;
+    for (Guard &G : N->AllOf) {
+      switch (foldGuard(G)) {
+      case GuardFold::True:
+        break; // dropped
+      case GuardFold::False:
+        N.reset();
+        return Removed + 1;
+      case GuardFold::Keep:
+        Kept.push_back(std::move(G));
+        break;
+      }
+    }
+    if (N->Children.empty()) {
+      N.reset();
+      return Removed + 1;
+    }
+    if (Kept.empty()) { // unconditionally true: splice children upward
+      N->K = AstNode::Kind::Block;
+      N->AllOf.clear();
+      return Removed;
+    }
+    N->AllOf = std::move(Kept);
+    return Removed;
+  }
+  case AstNode::Kind::Block:
+    return Removed;
+  }
+  return Removed;
+}
+
+} // namespace
+
+unsigned cg::optimizeAst(AstPtr &Tree) {
+  unsigned Removed = optimizeRec(Tree);
+  if (!Tree)
+    Tree = AstNode::block();
+  return Removed;
+}
+
+uint64_t cg::execute(
+    const AstNode &N, std::vector<int64_t> &Env,
+    const std::function<void(int, const std::vector<int64_t> &)> &OnLeaf) {
+  switch (N.K) {
+  case AstNode::Kind::Block: {
+    uint64_t Count = 0;
+    for (const AstPtr &C : N.Children)
+      Count += execute(*C, Env, OnLeaf);
+    return Count;
+  }
+  case AstNode::Kind::Loop: {
+    int64_t Lo = N.LB.eval(Env), Hi = N.UB.eval(Env);
+    int64_t Step = N.Step.eval(Env);
+    assert(Step > 0 && "loop step must be positive");
+    uint64_t Count = 0;
+    assert(N.VarSlot < Env.size() && "environment too small for loop var");
+    int64_t Saved = Env[N.VarSlot];
+    for (int64_t V = Lo; V <= Hi; V += Step) {
+      Env[N.VarSlot] = V;
+      for (const AstPtr &C : N.Children)
+        Count += execute(*C, Env, OnLeaf);
+    }
+    Env[N.VarSlot] = Saved;
+    return Count;
+  }
+  case AstNode::Kind::If: {
+    for (const Guard &G : N.AllOf)
+      if (!G.holds(Env))
+        return 0;
+    uint64_t Count = 0;
+    for (const AstPtr &C : N.Children)
+      Count += execute(*C, Env, OnLeaf);
+    return Count;
+  }
+  case AstNode::Kind::Leaf:
+    OnLeaf(N.LeafId, Env);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+//===- cg/Ast.h - Generated-code AST (loops, guards, leaves) -------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AST of generated SPMD node code: counted loops with symbolic bounds,
+/// guarded blocks, and leaf statements identified by id. The same tree is
+/// pretty-printed as pseudo-Fortran (for examples and golden tests) and
+/// walked by the interpreter in src/spmd.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_CG_AST_H
+#define DHPF_CG_AST_H
+
+#include "cg/Expr.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dhpf {
+namespace cg {
+
+/// One atomic guard condition over an Expr.
+struct GuardAtom {
+  Expr E;
+  enum class Kind : uint8_t { NonNeg, Zero, ModZero } K = Kind::NonNeg;
+  int64_t Mod = 0; // for ModZero: E mod Mod == 0
+
+  bool holds(const std::vector<int64_t> &Env) const {
+    int64_t V = E.eval(Env);
+    switch (K) {
+    case Kind::NonNeg:
+      return V >= 0;
+    case Kind::Zero:
+      return V == 0;
+    case Kind::ModZero:
+      return floorMod(V, Mod) == 0;
+    }
+    return false;
+  }
+  std::string str() const;
+};
+
+/// A guard in disjunctive normal form: OR over AnyOf of (AND over atoms).
+/// An empty AnyOf means "true".
+struct Guard {
+  std::vector<std::vector<GuardAtom>> AnyOf;
+
+  bool isTrue() const { return AnyOf.empty(); }
+  bool holds(const std::vector<int64_t> &Env) const {
+    if (AnyOf.empty())
+      return true;
+    for (const auto &Conj : AnyOf) {
+      bool All = true;
+      for (const GuardAtom &A : Conj)
+        if (!A.holds(Env)) {
+          All = false;
+          break;
+        }
+      if (All)
+        return true;
+    }
+    return false;
+  }
+  std::string str() const;
+};
+
+struct AstNode;
+using AstPtr = std::shared_ptr<AstNode>;
+
+/// A node of generated code.
+struct AstNode {
+  enum class Kind : uint8_t { Block, Loop, If, Leaf };
+  Kind K = Kind::Block;
+
+  // Loop: for Var = LB .. UB step Step (Step evaluates > 0; symbolic steps
+  // arise in the virtual-processor loops of Section 4).
+  std::string VarName;
+  unsigned VarSlot = 0;
+  Expr LB, UB;
+  Expr Step;
+
+  // If: conjunction of guards (each a DNF).
+  std::vector<Guard> AllOf;
+
+  // Leaf: statement id plus a printable label.
+  int LeafId = -1;
+  std::string Label;
+
+  std::vector<AstPtr> Children;
+
+  static AstPtr block() {
+    auto N = std::make_shared<AstNode>();
+    N->K = Kind::Block;
+    return N;
+  }
+  static AstPtr loop(std::string Var, unsigned Slot, Expr LBE, Expr UBE,
+                     Expr StepE = Expr()) {
+    auto N = std::make_shared<AstNode>();
+    N->K = Kind::Loop;
+    N->VarName = std::move(Var);
+    N->VarSlot = Slot;
+    N->LB = std::move(LBE);
+    N->UB = std::move(UBE);
+    N->Step = StepE.isValid() ? std::move(StepE) : Expr::constant(1);
+    return N;
+  }
+  static AstPtr guarded(std::vector<Guard> Gs) {
+    auto N = std::make_shared<AstNode>();
+    N->K = Kind::If;
+    N->AllOf = std::move(Gs);
+    return N;
+  }
+  static AstPtr leaf(int Id, std::string LabelText) {
+    auto N = std::make_shared<AstNode>();
+    N->K = Kind::Leaf;
+    N->LeafId = Id;
+    N->Label = std::move(LabelText);
+    return N;
+  }
+};
+
+/// Pretty-prints a tree as indented pseudo-Fortran.
+std::string printAst(const AstNode &N, unsigned Indent = 0);
+
+/// Walks the tree against \p Env (sized to the VarTable), invoking
+/// \p OnLeaf for each executed leaf. \p Env is modified in place for loop
+/// variables. Returns the number of leaf executions.
+uint64_t execute(const AstNode &N, std::vector<int64_t> &Env,
+                 const std::function<void(int, const std::vector<int64_t> &)>
+                     &OnLeaf);
+
+/// The "optimization of generated code" pass (paper Table 1's post-pass):
+/// folds constant guard atoms, deletes unsatisfiable branches and empty
+/// loops/blocks, and flattens nested blocks. Returns the number of nodes
+/// removed. \p Tree may become an empty block.
+unsigned optimizeAst(AstPtr &Tree);
+
+} // namespace cg
+} // namespace dhpf
+
+#endif // DHPF_CG_AST_H

@@ -1,0 +1,353 @@
+//===- cg/Expr.cpp - Integer expressions for generated code --------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/Expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace dhpf;
+using namespace dhpf::cg;
+
+Expr Expr::constant(int64_t K) {
+  Node N;
+  N.K = Kind::Const;
+  N.KVal = K;
+  return make(std::move(N));
+}
+
+Expr Expr::var(unsigned Slot, std::string Name) {
+  Node N;
+  N.K = Kind::Var;
+  N.Slot = Slot;
+  N.Name = std::move(Name);
+  return make(std::move(N));
+}
+
+Expr Expr::add(Expr A, Expr B) {
+  assert(A.isValid() && B.isValid());
+  if (A.N->K == Kind::Const && B.N->K == Kind::Const)
+    return constant(addOv(A.N->KVal, B.N->KVal));
+  if (A.isConst(0))
+    return B;
+  if (B.isConst(0))
+    return A;
+  Node N;
+  N.K = Kind::Add;
+  // Flatten nested sums for readable output.
+  if (A.N->K == Kind::Add)
+    N.Ops = A.N->Ops;
+  else
+    N.Ops.push_back(A);
+  if (B.N->K == Kind::Add)
+    N.Ops.insert(N.Ops.end(), B.N->Ops.begin(), B.N->Ops.end());
+  else
+    N.Ops.push_back(B);
+  // Fold the constant operands together.
+  int64_t K = 0;
+  std::vector<Expr> Ops;
+  for (Expr &Op : N.Ops) {
+    if (Op.N->K == Kind::Const)
+      K = addOv(K, Op.N->KVal);
+    else
+      Ops.push_back(Op);
+  }
+  if (K != 0)
+    Ops.push_back(constant(K));
+  if (Ops.size() == 1)
+    return Ops[0];
+  N.Ops = std::move(Ops);
+  return make(std::move(N));
+}
+
+Expr Expr::mul(Expr A, int64_t K) {
+  assert(A.isValid());
+  if (K == 0)
+    return constant(0);
+  if (K == 1)
+    return A;
+  if (A.N->K == Kind::Const)
+    return constant(mulOv(A.N->KVal, K));
+  if (A.N->K == Kind::Mul)
+    return mul(A.N->Ops[0], mulOv(A.N->KVal, K));
+  Node N;
+  N.K = Kind::Mul;
+  N.KVal = K;
+  N.Ops.push_back(std::move(A));
+  return make(std::move(N));
+}
+
+Expr Expr::mulExpr(Expr A, Expr B) {
+  assert(A.isValid() && B.isValid());
+  if (A.N->K == Kind::Const)
+    return mul(B, A.N->KVal);
+  if (B.N->K == Kind::Const)
+    return mul(A, B.N->KVal);
+  Node N;
+  N.K = Kind::MulE;
+  N.Ops.push_back(std::move(A));
+  N.Ops.push_back(std::move(B));
+  return make(std::move(N));
+}
+
+Expr Expr::floorDivExpr(Expr A, Expr B) {
+  assert(A.isValid() && B.isValid());
+  if (B.N->K == Kind::Const)
+    return floorDiv(A, B.N->KVal);
+  Node N;
+  N.K = Kind::FloorDivE;
+  N.Ops.push_back(std::move(A));
+  N.Ops.push_back(std::move(B));
+  return make(std::move(N));
+}
+
+Expr Expr::modExpr(Expr A, Expr B) {
+  assert(A.isValid() && B.isValid());
+  if (B.N->K == Kind::Const)
+    return mod(A, B.N->KVal);
+  Node N;
+  N.K = Kind::ModE;
+  N.Ops.push_back(std::move(A));
+  N.Ops.push_back(std::move(B));
+  return make(std::move(N));
+}
+
+Expr Expr::floorDiv(Expr A, int64_t K) {
+  assert(K > 0 && "floorDiv expects a positive divisor");
+  if (K == 1)
+    return A;
+  if (A.N->K == Kind::Const)
+    return constant(dhpf::floorDiv(A.N->KVal, K));
+  Node N;
+  N.K = Kind::FloorDiv;
+  N.KVal = K;
+  N.Ops.push_back(std::move(A));
+  return make(std::move(N));
+}
+
+Expr Expr::ceilDiv(Expr A, int64_t K) {
+  assert(K > 0 && "ceilDiv expects a positive divisor");
+  if (K == 1)
+    return A;
+  if (A.N->K == Kind::Const)
+    return constant(dhpf::ceilDiv(A.N->KVal, K));
+  Node N;
+  N.K = Kind::CeilDiv;
+  N.KVal = K;
+  N.Ops.push_back(std::move(A));
+  return make(std::move(N));
+}
+
+Expr Expr::mod(Expr A, int64_t K) {
+  assert(K > 0 && "mod expects a positive modulus");
+  if (K == 1)
+    return constant(0);
+  if (A.N->K == Kind::Const)
+    return constant(floorMod(A.N->KVal, K));
+  Node N;
+  N.K = Kind::Mod;
+  N.KVal = K;
+  N.Ops.push_back(std::move(A));
+  return make(std::move(N));
+}
+
+Expr Expr::min(std::vector<Expr> Ops) {
+  assert(!Ops.empty());
+  std::vector<Expr> Flat;
+  for (Expr &Op : Ops) {
+    if (Op.N->K == Kind::Min)
+      Flat.insert(Flat.end(), Op.N->Ops.begin(), Op.N->Ops.end());
+    else
+      Flat.push_back(std::move(Op));
+  }
+  // Deduplicate identical operands; fold constants.
+  std::vector<Expr> Uniq;
+  bool HaveK = false;
+  int64_t K = 0;
+  for (Expr &Op : Flat) {
+    if (Op.N->K == Kind::Const) {
+      K = HaveK ? std::min(K, Op.N->KVal) : Op.N->KVal;
+      HaveK = true;
+      continue;
+    }
+    bool Dup = false;
+    for (const Expr &U : Uniq)
+      if (U.identicalTo(Op)) {
+        Dup = true;
+        break;
+      }
+    if (!Dup)
+      Uniq.push_back(std::move(Op));
+  }
+  if (HaveK)
+    Uniq.push_back(constant(K));
+  if (Uniq.size() == 1)
+    return Uniq[0];
+  Node N;
+  N.K = Kind::Min;
+  N.Ops = std::move(Uniq);
+  return make(std::move(N));
+}
+
+Expr Expr::max(std::vector<Expr> Ops) {
+  assert(!Ops.empty());
+  std::vector<Expr> Flat;
+  for (Expr &Op : Ops) {
+    if (Op.N->K == Kind::Max)
+      Flat.insert(Flat.end(), Op.N->Ops.begin(), Op.N->Ops.end());
+    else
+      Flat.push_back(std::move(Op));
+  }
+  std::vector<Expr> Uniq;
+  bool HaveK = false;
+  int64_t K = 0;
+  for (Expr &Op : Flat) {
+    if (Op.N->K == Kind::Const) {
+      K = HaveK ? std::max(K, Op.N->KVal) : Op.N->KVal;
+      HaveK = true;
+      continue;
+    }
+    bool Dup = false;
+    for (const Expr &U : Uniq)
+      if (U.identicalTo(Op)) {
+        Dup = true;
+        break;
+      }
+    if (!Dup)
+      Uniq.push_back(std::move(Op));
+  }
+  if (HaveK)
+    Uniq.push_back(constant(K));
+  if (Uniq.size() == 1)
+    return Uniq[0];
+  Node N;
+  N.K = Kind::Max;
+  N.Ops = std::move(Uniq);
+  return make(std::move(N));
+}
+
+bool Expr::identicalTo(const Expr &O) const {
+  if (N == O.N)
+    return true;
+  if (!N || !O.N || N->K != O.N->K || N->KVal != O.N->KVal ||
+      N->Slot != O.N->Slot || N->Ops.size() != O.N->Ops.size())
+    return false;
+  for (unsigned I = 0, E = N->Ops.size(); I != E; ++I)
+    if (!N->Ops[I].identicalTo(O.N->Ops[I]))
+      return false;
+  return true;
+}
+
+int64_t Expr::eval(const std::vector<int64_t> &Env) const {
+  assert(N && "evaluating an invalid expression");
+  switch (N->K) {
+  case Kind::Const:
+    return N->KVal;
+  case Kind::Var:
+    assert(N->Slot < Env.size() && "environment too small");
+    return Env[N->Slot];
+  case Kind::Add: {
+    int64_t S = 0;
+    for (const Expr &Op : N->Ops)
+      S = addOv(S, Op.eval(Env));
+    return S;
+  }
+  case Kind::Mul:
+    return mulOv(N->KVal, N->Ops[0].eval(Env));
+  case Kind::MulE:
+    return mulOv(N->Ops[0].eval(Env), N->Ops[1].eval(Env));
+  case Kind::FloorDiv:
+    return dhpf::floorDiv(N->Ops[0].eval(Env), N->KVal);
+  case Kind::CeilDiv:
+    return dhpf::ceilDiv(N->Ops[0].eval(Env), N->KVal);
+  case Kind::Mod:
+    return floorMod(N->Ops[0].eval(Env), N->KVal);
+  case Kind::FloorDivE:
+    return dhpf::floorDiv(N->Ops[0].eval(Env), N->Ops[1].eval(Env));
+  case Kind::ModE:
+    return floorMod(N->Ops[0].eval(Env), N->Ops[1].eval(Env));
+  case Kind::Min: {
+    int64_t V = N->Ops[0].eval(Env);
+    for (unsigned I = 1, E = N->Ops.size(); I != E; ++I)
+      V = std::min(V, N->Ops[I].eval(Env));
+    return V;
+  }
+  case Kind::Max: {
+    int64_t V = N->Ops[0].eval(Env);
+    for (unsigned I = 1, E = N->Ops.size(); I != E; ++I)
+      V = std::max(V, N->Ops[I].eval(Env));
+    return V;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return 0;
+}
+
+std::string Expr::str() const {
+  if (!N)
+    return "<invalid>";
+  std::ostringstream OS;
+  switch (N->K) {
+  case Kind::Const:
+    OS << N->KVal;
+    break;
+  case Kind::Var:
+    OS << N->Name;
+    break;
+  case Kind::Add: {
+    for (unsigned I = 0, E = N->Ops.size(); I != E; ++I) {
+      const Expr &Op = N->Ops[I];
+      if (I == 0) {
+        OS << Op.str();
+        continue;
+      }
+      // Render "+ -k" and "+ -k*x" as subtraction.
+      if (Op.N->K == Kind::Const && Op.N->KVal < 0) {
+        OS << " - " << -Op.N->KVal;
+        continue;
+      }
+      if (Op.N->K == Kind::Mul && Op.N->KVal < 0) {
+        OS << " - " << mul(Op.N->Ops[0], -Op.N->KVal).str();
+        continue;
+      }
+      OS << " + " << Op.str();
+    }
+    break;
+  }
+  case Kind::Mul: {
+    bool Paren = N->Ops[0].N->K == Kind::Add;
+    OS << N->KVal << '*' << (Paren ? "(" : "") << N->Ops[0].str()
+       << (Paren ? ")" : "");
+    break;
+  }
+  case Kind::FloorDiv:
+    OS << "floor((" << N->Ops[0].str() << ")/" << N->KVal << ')';
+    break;
+  case Kind::CeilDiv:
+    OS << "ceil((" << N->Ops[0].str() << ")/" << N->KVal << ')';
+    break;
+  case Kind::Mod:
+    OS << "mod(" << N->Ops[0].str() << ',' << N->KVal << ')';
+    break;
+  case Kind::MulE:
+    OS << '(' << N->Ops[0].str() << ")*(" << N->Ops[1].str() << ')';
+    break;
+  case Kind::FloorDivE:
+    OS << "floor((" << N->Ops[0].str() << ")/(" << N->Ops[1].str() << "))";
+    break;
+  case Kind::ModE:
+    OS << "mod(" << N->Ops[0].str() << ',' << N->Ops[1].str() << ')';
+    break;
+  case Kind::Min:
+  case Kind::Max:
+    OS << (N->K == Kind::Min ? "min(" : "max(");
+    for (unsigned I = 0, E = N->Ops.size(); I != E; ++I)
+      OS << (I ? ", " : "") << N->Ops[I].str();
+    OS << ')';
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,135 @@
+//===- cg/Expr.h - Integer expressions for generated code ----------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable integer expression trees used in generated SPMD code: loop
+/// bounds (with min/max and integer ceil/floor division), guards, and
+/// subscripts. Variables are resolved to environment slots at construction
+/// (via VarTable) so interpretation is a fast vector lookup — the same AST
+/// is both pretty-printed as pseudo-Fortran and executed by the SPMD
+/// interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_CG_EXPR_H
+#define DHPF_CG_EXPR_H
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dhpf {
+namespace cg {
+
+/// Maps variable names to environment slots. One table is shared by a
+/// compilation (parameters, processor ids, loop variables); the interpreter
+/// allocates one value vector per activation.
+class VarTable {
+public:
+  /// Returns the slot for \p Name, creating it if needed.
+  unsigned slot(const std::string &Name) {
+    for (unsigned I = 0, E = Names.size(); I != E; ++I)
+      if (Names[I] == Name)
+        return I;
+    Names.push_back(Name);
+    return Names.size() - 1;
+  }
+  /// Returns the slot for \p Name; asserts that it exists.
+  unsigned lookup(const std::string &Name) const {
+    for (unsigned I = 0, E = Names.size(); I != E; ++I)
+      if (Names[I] == Name)
+        return I;
+    assert(false && "unknown variable");
+    return ~0u;
+  }
+  unsigned size() const { return Names.size(); }
+  const std::string &name(unsigned Slot) const { return Names[Slot]; }
+
+private:
+  std::vector<std::string> Names;
+};
+
+/// An immutable integer expression. Copy is cheap (shared nodes).
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    Const,     // K
+    Var,       // environment slot
+    Add,       // sum of operands
+    Mul,       // K * op
+    MulE,      // op0 * op1
+    FloorDiv,  // floor(op / K), K > 0
+    CeilDiv,   // ceil(op / K), K > 0
+    Mod,       // op mod K (mathematical, in [0, K)), K > 0
+    FloorDivE, // floor(op0 / op1), op1 evaluates > 0
+    ModE,      // op0 mod op1 (mathematical), op1 evaluates > 0
+    Min,       // min of operands
+    Max,       // max of operands
+  };
+
+  Expr() = default;
+
+  static Expr constant(int64_t K);
+  static Expr var(unsigned Slot, std::string Name);
+  static Expr add(Expr A, Expr B);
+  static Expr sub(Expr A, Expr B) { return add(A, mul(B, -1)); }
+  static Expr mul(Expr A, int64_t K);
+  /// Product of two expressions (needed by the virtual-processor code of
+  /// Section 4, e.g. B*p with a runtime block size).
+  static Expr mulExpr(Expr A, Expr B);
+  static Expr floorDiv(Expr A, int64_t K);
+  static Expr ceilDiv(Expr A, int64_t K);
+  static Expr mod(Expr A, int64_t K);
+  /// Division/modulus by a runtime expression (symbolic processor counts).
+  static Expr floorDivExpr(Expr A, Expr B);
+  static Expr modExpr(Expr A, Expr B);
+  static Expr min(std::vector<Expr> Ops);
+  static Expr max(std::vector<Expr> Ops);
+
+  bool isValid() const { return N != nullptr; }
+  Kind kind() const { return N->K; }
+  /// The constant value (Const) or constant operand (Mul/Div/Mod).
+  int64_t constVal() const { return N->KVal; }
+  unsigned varSlot() const { return N->Slot; }
+  const std::vector<Expr> &operands() const { return N->Ops; }
+
+  /// True if this is a constant equal to \p K.
+  bool isConst(int64_t K) const {
+    return N && N->K == Kind::Const && N->KVal == K;
+  }
+  /// Structural equality (used to merge identical bounds).
+  bool identicalTo(const Expr &O) const;
+
+  /// Evaluates against an environment vector indexed by slot.
+  int64_t eval(const std::vector<int64_t> &Env) const;
+
+  /// Renders as readable pseudo-code, e.g. "max(1, 25*p + 1)".
+  std::string str() const;
+
+private:
+  struct Node {
+    Kind K;
+    int64_t KVal = 0;
+    unsigned Slot = 0;
+    std::string Name;
+    std::vector<Expr> Ops;
+  };
+  std::shared_ptr<const Node> N;
+
+  static Expr make(Node NN) {
+    Expr E;
+    E.N = std::make_shared<const Node>(std::move(NN));
+    return E;
+  }
+};
+
+} // namespace cg
+} // namespace dhpf
+
+#endif // DHPF_CG_EXPR_H

@@ -1,0 +1,214 @@
+//===- core/Comm.cpp - Communication analysis (Figures 3 and 5) ----------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Comm.h"
+
+using namespace dhpf;
+using namespace dhpf::core;
+using namespace dhpf::hpf;
+
+std::string core::placementParam(unsigned Level) {
+  return "J" + std::to_string(Level);
+}
+
+namespace {
+
+/// Builds { [i0..ik] : i_j = J_j for j < Level } over the loop space: the
+/// range restriction realizing equation (1) of Figure 3 (vectorization).
+Relation placementSet(const Relation &LoopSpaceTemplate, unsigned Level,
+                      const std::vector<std::string> &LoopVars) {
+  Relation S = Relation::universe(
+      Space::set(LoopSpaceTemplate.space().outNames(),
+                 LoopSpaceTemplate.space().params()));
+  (void)LoopVars;
+  for (unsigned L = 0; L != Level; ++L)
+    S = S.equateOutDimToParam(L, placementParam(L));
+  return S;
+}
+
+/// Cross product { [p..] -> [a..] : P(p) && D(a) } of two sets.
+Relation crossMap(const Relation &P, const Relation &D) {
+  assert(P.isSet() && D.isSet());
+  // Build via relations: P as (0 -> p), inverted to (p -> 0), composed with
+  // D as (0 -> a): (p -> 0) ; (0 -> a) = (p -> a).
+  return P.inverse().composeWith(D);
+}
+
+/// The singleton { [p..] : p_d = mv_d } over \p DomSpace dims.
+Relation selfSet(const Relation &Dom) {
+  Relation S = Relation::universe(
+      Space::set(Dom.space().outNames(), Dom.space().params()));
+  for (unsigned D = 0; D != Dom.numOut(); ++D)
+    S = S.equateOutDimToParam(D, myDimParam(D));
+  return S.intersect(Dom);
+}
+
+/// Binds a map's domain to the mv* parameters.
+Relation bindToMy(const Relation &Map) {
+  std::vector<std::string> Names;
+  for (unsigned D = 0; D != Map.numIn(); ++D)
+    Names.push_back(myDimParam(D));
+  return Map.bindDomainToParams(Names);
+}
+
+} // namespace
+
+CommSets core::computeCommSets(const MapBuilder &MB,
+                               const CommEventInput &Event,
+                               bool CombinedFormulation) {
+  if (!CombinedFormulation && Event.Refs.size() > 1) {
+    // Ablation: apply the downstream equations per reference and union the
+    // outputs at the end (the paper's original, slower formulation).
+    CommSets Acc;
+    bool First = true;
+    for (const CommRef &R : Event.Refs) {
+      CommEventInput Single = Event;
+      Single.Refs = {R};
+      CommSets S = computeCommSets(MB, Single, true);
+      if (First) {
+        Acc = std::move(S);
+        First = false;
+        continue;
+      }
+      auto UnionIf = [](Relation &A, const Relation &B) {
+        if (B.conjuncts().empty())
+          return;
+        A = A.conjuncts().empty() ? B : A.unionWith(B).simplify();
+      };
+      UnionIf(Acc.SendCommMap, S.SendCommMap);
+      UnionIf(Acc.RecvCommMap, S.RecvCommMap);
+      UnionIf(Acc.DataAccessedRead, S.DataAccessedRead);
+      UnionIf(Acc.DataAccessedWrite, S.DataAccessedWrite);
+      UnionIf(Acc.NLDataAccessedRead, S.NLDataAccessedRead);
+      UnionIf(Acc.NLDataAccessedWrite, S.NLDataAccessedWrite);
+      UnionIf(Acc.NLReadData, S.NLReadData);
+      UnionIf(Acc.NLWriteData, S.NLWriteData);
+      UnionIf(Acc.BusyVPSet, S.BusyVPSet);
+      UnionIf(Acc.ActiveSendVPSet, S.ActiveSendVPSet);
+      UnionIf(Acc.ActiveRecvVPSet, S.ActiveRecvVPSet);
+    }
+    return Acc;
+  }
+  CommSets Out;
+  Out.Layout = MB.layout(Event.Array);
+  const Relation &Layout = Out.Layout.Map;
+  assert(!Out.Layout.ProcName.empty() &&
+         "communication analysis needs a distributed array");
+  Relation OwnerDom = Layout.domain().simplify();
+
+  // Steps 1-2: DataAccessed_t = U_r CPMap_r^v o RefMap_r.
+  bool AnyRead = false, AnyWrite = false;
+  Relation BusyVP;
+  bool AnyBusy = false;
+  for (const CommRef &R : Event.Refs) {
+    Relation CPv;
+    if (R.ReplicatedCP) {
+      // Every owner-domain processor executes the reference.
+      Relation LoopDom = R.RefMap.domain();
+      Relation Restricted =
+          placementSet(LoopDom, Event.PlacementLevel, Event.LoopVars)
+              .intersect(LoopDom);
+      CPv = crossMap(OwnerDom, Restricted);
+    } else {
+      Relation LoopDom = R.CPMap.range();
+      CPv = R.CPMap.restrictRange(
+          placementSet(LoopDom, Event.PlacementLevel, Event.LoopVars));
+    }
+    Relation Acc = CPv.composeWith(R.RefMap).simplify();
+    Relation &Slot = R.IsWrite ? Out.DataAccessedWrite : Out.DataAccessedRead;
+    bool &Any = R.IsWrite ? AnyWrite : AnyRead;
+    Slot = Any ? Slot.unionWith(Acc) : Acc;
+    Any = true;
+    // Figure 5: busyVPSet = U_r Domain(CPMap_r).
+    Relation Busy = R.ReplicatedCP ? OwnerDom : R.CPMap.domain();
+    BusyVP = AnyBusy ? BusyVP.unionWith(Busy) : Busy;
+    AnyBusy = true;
+  }
+  Out.BusyVPSet = BusyVP.simplify().coalesce();
+
+  Relation MyLayoutData = bindToMy(Layout);
+  Relation Self = selfSet(OwnerDom);
+  Relation Others = OwnerDom.subtract(Self).simplify();
+
+  // Step 3 (the Section 5 formulation: bind to m before subtracting). The
+  // read and write forms are equivalent when no array element is owned by
+  // more than one processor (the paper's footnote 2); our distributed
+  // layouts are single-owner, so the cheaper read form serves both.
+  Relation NLRead, NLWrite; // sets of data, parameterized by mv*
+  if (AnyRead)
+    NLRead = bindToMy(Out.DataAccessedRead).subtract(MyLayoutData).simplify();
+  if (AnyWrite)
+    NLWrite =
+        bindToMy(Out.DataAccessedWrite).subtract(MyLayoutData).simplify();
+  Out.NLReadData = NLRead;
+  Out.NLWriteData = NLWrite;
+
+  // Unbound NLDataAccessed maps for the Figure 5 equations.
+  if (AnyRead)
+    Out.NLDataAccessedRead = Out.DataAccessedRead.subtract(Layout).simplify();
+  if (AnyWrite)
+    Out.NLDataAccessedWrite =
+        Out.DataAccessedWrite.subtract(Layout).simplify();
+
+  // Steps 4-5. The NLComm maps need no explicit self-exclusion: the
+  // non-local data is by construction not owned by m. The LocalComm maps
+  // restrict the accessing-processor domain to the other processors.
+  Relation NLCommRead, NLCommWrite, LocalCommRead, LocalCommWrite;
+  if (AnyRead) {
+    NLCommRead = Layout.restrictRange(NLRead);
+    LocalCommRead = Out.DataAccessedRead.restrictRange(MyLayoutData)
+                        .restrictDomain(Others);
+  }
+  if (AnyWrite) {
+    NLCommWrite = Layout.restrictRange(NLWrite);
+    LocalCommWrite = Out.DataAccessedWrite.restrictRange(MyLayoutData)
+                         .restrictDomain(Others);
+  }
+
+  // Steps 6-7.
+  auto UnionOpt = [](bool HasA, const Relation &A, bool HasB,
+                     const Relation &B) {
+    if (HasA && HasB)
+      return A.unionWith(B);
+    return HasA ? A : B;
+  };
+  if (AnyRead || AnyWrite) {
+    Out.SendCommMap =
+        UnionOpt(AnyRead, LocalCommRead, AnyWrite, NLCommWrite)
+            .simplify()
+            .coalesce();
+    Out.RecvCommMap =
+        UnionOpt(AnyRead, NLCommRead, AnyWrite, LocalCommWrite)
+            .simplify()
+            .coalesce();
+  }
+
+  // Figure 5: active send/receive virtual processors.
+  Relation LayoutInv = Layout.inverse();
+  Relation ActiveSend, ActiveRecv;
+  bool HasSend = false, HasRecv = false;
+  if (AnyRead) {
+    Relation AllNL = Out.NLDataAccessedRead.apply(Out.BusyVPSet).simplify();
+    Relation Owners = LayoutInv.apply(AllNL).simplify();
+    Relation Accessors = Out.NLDataAccessedRead.domain().simplify();
+    ActiveSend = Owners;
+    ActiveRecv = Accessors;
+    HasSend = HasRecv = true;
+  }
+  if (AnyWrite) {
+    Relation AllNL = Out.NLDataAccessedWrite.apply(Out.BusyVPSet).simplify();
+    Relation Owners = LayoutInv.apply(AllNL).simplify();
+    Relation Accessors = Out.NLDataAccessedWrite.domain().simplify();
+    ActiveSend = HasSend ? ActiveSend.unionWith(Accessors) : Accessors;
+    ActiveRecv = HasRecv ? ActiveRecv.unionWith(Owners) : Owners;
+    HasSend = HasRecv = true;
+  }
+  if (HasSend) {
+    Out.ActiveSendVPSet = ActiveSend.simplify().coalesce();
+    Out.ActiveRecvVPSet = ActiveRecv.simplify().coalesce();
+  }
+  return Out;
+}

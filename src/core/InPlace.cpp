@@ -1,0 +1,128 @@
+//===- core/InPlace.cpp - In-place communication analysis (Section 3.3) --===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InPlace.h"
+
+using namespace dhpf;
+using namespace dhpf::core;
+
+namespace {
+
+/// Lifts a rank-0 (parameter-only) set onto \p TargetSpace.
+Relation liftRank0(const Relation &Ctx, const Space &TargetSpace) {
+  Relation R(Space::set(TargetSpace.outNames(), Ctx.space().params()));
+  unsigned NP = Ctx.numParams(), ND = TargetSpace.numOut();
+  for (const Conjunct &C : Ctx.conjuncts()) {
+    std::vector<int> Map(C.numVars());
+    for (unsigned P = 0; P != NP; ++P)
+      Map[C.paramCol(P)] = P;
+    for (unsigned E = 0; E != C.numExists(); ++E)
+      Map[C.existCol(E)] = NP + ND + E;
+    R.addConjunct(Conjunct::remap(C, NP, 0, ND, C.numExists(), Map));
+  }
+  return R;
+}
+
+/// Core of the test; exact when the sets are parameter-free, otherwise a
+/// sound compile-time approximation (never claims contiguity wrongly).
+InPlaceVerdict testContiguity(const Relation &C, const Relation &A,
+                              int &SplitDim) {
+  unsigned N = C.numOut();
+  assert(A.numOut() == N && "rank mismatch");
+  bool Exact = C.numParams() == 0 && A.numParams() == 0;
+  if (C.isEmpty()) {
+    SplitDim = 0;
+    return InPlaceVerdict::Contiguous;
+  }
+  // The parameter context where the section is non-empty: the full-extent
+  // comparisons are made relative to it (a parametric message section is
+  // vacuously empty for most partner/myid values).
+  Relation Ctx = C.projectOutDims(0, N).normalizeExists().simplify();
+  // Leftmost-first scan (Fortran column-major: dimension 0 varies fastest)
+  // for the first dimension whose projection is not the full extent.
+  unsigned K = N;
+  for (unsigned I = 0; I != N; ++I) {
+    Relation CI = C.projectOntoDim(I);
+    Relation AI = A.projectOntoDim(I);
+    if (C.numParams() != 0)
+      AI = AI.intersect(liftRank0(Ctx, AI.space()));
+    if (!CI.isEqualTo(AI)) {
+      K = I;
+      break;
+    }
+  }
+  if (K == N) { // the whole array: trivially contiguous
+    SplitDim = static_cast<int>(N) - 1;
+    return InPlaceVerdict::Contiguous;
+  }
+  SplitDim = static_cast<int>(K);
+  // IsConvex(C<k>): isEmpty(simpleHull(C<k>) - C<k>).
+  if (!C.projectOntoDim(K).isConvexProven())
+    return Exact ? InPlaceVerdict::NotContiguous
+                 : InPlaceVerdict::RuntimeCheck;
+  // IsSingleton(C<j>) for j > k.
+  for (unsigned J = K + 1; J < N; ++J)
+    if (!C.projectOntoDim(J).isSingletonProven())
+      return Exact ? InPlaceVerdict::NotContiguous
+                   : InPlaceVerdict::RuntimeCheck;
+  return InPlaceVerdict::Contiguous;
+}
+
+} // namespace
+
+InPlaceResult core::analyzeInPlace(const Relation &CommSet,
+                                   const Relation &ArraySet) {
+  InPlaceResult R;
+  R.CommSet = CommSet;
+  R.ArraySet = ArraySet;
+  R.Verdict = testContiguity(CommSet, ArraySet, R.SplitDim);
+  return R;
+}
+
+InPlaceResult core::analyzeInPlaceSections(const Relation &CommSet,
+                                           const Relation &ArraySet) {
+  if (CommSet.conjuncts().size() <= 1)
+    return analyzeInPlace(CommSet, ArraySet);
+  InPlaceResult R;
+  R.CommSet = CommSet;
+  R.ArraySet = ArraySet;
+  R.Verdict = InPlaceVerdict::Contiguous;
+  for (const Conjunct &C : CommSet.conjuncts()) {
+    Relation One(CommSet.space());
+    One.addConjunct(C);
+    InPlaceResult Section = analyzeInPlace(One, ArraySet);
+    if (Section.Verdict != InPlaceVerdict::Contiguous) {
+      R.Verdict = Section.Verdict;
+      break;
+    }
+  }
+  return R;
+}
+
+bool core::checkInPlaceAtRuntime(
+    const InPlaceResult &R, const std::map<std::string, int64_t> &Bindings) {
+  if (R.Verdict == InPlaceVerdict::Contiguous)
+    return true;
+  if (R.Verdict == InPlaceVerdict::NotContiguous)
+    return false;
+  // Bind every parameter; the predicates are then decided exactly (this is
+  // the synthesized runtime check of Section 3.3).
+  std::map<std::string, int64_t> CBind, ABind;
+  for (const std::string &P : R.CommSet.space().params()) {
+    auto It = Bindings.find(P);
+    assert(It != Bindings.end() && "unbound parameter in runtime check");
+    CBind[P] = It->second;
+  }
+  for (const std::string &P : R.ArraySet.space().params()) {
+    auto It = Bindings.find(P);
+    assert(It != Bindings.end() && "unbound parameter in runtime check");
+    ABind[P] = It->second;
+  }
+  int SplitDim = -1;
+  return testContiguity(R.CommSet.bindParams(CBind),
+                        R.ArraySet.bindParams(ABind),
+                        SplitDim) == InPlaceVerdict::Contiguous;
+}

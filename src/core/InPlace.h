@@ -1,0 +1,75 @@
+//===- core/InPlace.h - In-place communication analysis (Section 3.3) ----===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recognizes contiguous communication sets so messages can be sent or
+/// received in place (no pack/unpack copy). For a column-major array A of
+/// rank n, a communication set C is contiguous iff there is a k such that
+/// C spans the full extent of dimensions i < k, is convex (an interval) in
+/// dimension k, and is a single index in dimensions j > k:
+///
+///   exists k : (forall i<k : C<i> = A<i>) && IsConvex(C<k>)
+///              && (forall j>k : IsSingleton(C<j>))
+///
+/// Each predicate reduces to emptiness/satisfiability questions on integer
+/// sets (IsConvex via the hull; IsSingleton via a pairwise-equality test),
+/// so the same test runs at compile time over symbolic parameters and — by
+/// binding the parameters — as the synthesized runtime check (at most n+2
+/// predicate evaluations after the leftmost-scan, as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_CORE_INPLACE_H
+#define DHPF_CORE_INPLACE_H
+
+#include "pset/Relation.h"
+
+#include <map>
+#include <string>
+
+namespace dhpf {
+namespace core {
+
+enum class InPlaceVerdict {
+  Contiguous,    ///< proven contiguous at compile time
+  NotContiguous, ///< proven non-contiguous for all parameter values
+  RuntimeCheck,  ///< undecided symbolically; evaluate at run time
+};
+
+/// The compile-time analysis plus the material for the runtime check.
+struct InPlaceResult {
+  InPlaceVerdict Verdict = InPlaceVerdict::RuntimeCheck;
+  /// The dimension k of the contiguity pattern when proven.
+  int SplitDim = -1;
+  /// Inputs retained for runtime evaluation.
+  Relation CommSet, ArraySet;
+};
+
+/// Compile-time test: \p CommSet and \p ArraySet are sets over the array's
+/// index space (CommSet may reference parameters such as mv*).
+InPlaceResult analyzeInPlace(const Relation &CommSet,
+                             const Relation &ArraySet);
+
+/// The per-section variant the compiler uses: the paper applies the
+/// compile-time test "only to communication sets with only a single
+/// conjunct" and notes the generalization to disjoint disjunctions. For a
+/// union, each conjunct is tested individually (cheap single-conjunct
+/// proofs); the whole set is reported contiguous only when every section
+/// is — sound for the coalesced shift patterns whose sections go to
+/// distinct partners, and an approximation (pack-cost modeling only) if
+/// same-partner sections ever overlap.
+InPlaceResult analyzeInPlaceSections(const Relation &CommSet,
+                                     const Relation &ArraySet);
+
+/// The runtime check: the same predicates with all parameters bound (now
+/// decided exactly). Returns true when the transfer is contiguous.
+bool checkInPlaceAtRuntime(const InPlaceResult &R,
+                           const std::map<std::string, int64_t> &Bindings);
+
+} // namespace core
+} // namespace dhpf
+
+#endif // DHPF_CORE_INPLACE_H

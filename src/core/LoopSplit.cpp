@@ -1,0 +1,51 @@
+//===- core/LoopSplit.cpp - Non-local index-set splitting (Figure 4) -----===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LoopSplit.h"
+
+using namespace dhpf;
+using namespace dhpf::core;
+
+SplitSets core::computeLoopSplit(const Relation &CpIterSet,
+                                 const std::vector<SplitRef> &Refs) {
+  // Figure 4(a), with the Section 5 formulation: intersect the per-
+  // reference local iteration sets first, then derive the non-local
+  // sections by subtraction (fewer disjunctions than unioning per-
+  // reference non-local sets).
+  Relation LocalReadIters, LocalWriteIters;
+  bool AnyRead = false, AnyWrite = false;
+  for (const SplitRef &R : Refs) {
+    Relation DataAccessed = R.RefMap.apply(CpIterSet);
+    // For reads (and non-replicated layouts generally), localDataAccessed
+    // is the intersection with the data m owns.
+    Relation LocalData = DataAccessed.intersect(R.LayoutMine).simplify();
+    Relation LocalIters =
+        R.RefMap.inverse().apply(LocalData).intersect(CpIterSet).simplify();
+    // Iterations where the reference touches *no* non-local element: those
+    // whose accessed element set is fully local. For single-element affine
+    // references (our reference model) local-data preimage suffices.
+    Relation &Slot = R.IsWrite ? LocalWriteIters : LocalReadIters;
+    bool &Any = R.IsWrite ? AnyWrite : AnyRead;
+    Slot = Any ? Slot.intersect(LocalIters) : LocalIters;
+    Any = true;
+  }
+
+  SplitSets Out;
+  Relation NLRead =
+      AnyRead ? CpIterSet.subtract(LocalReadIters).simplify()
+              : Relation::empty(CpIterSet.space());
+  Relation NLWrite =
+      AnyWrite ? CpIterSet.subtract(LocalWriteIters).simplify()
+               : Relation::empty(CpIterSet.space());
+  Out.NLRWIters = NLRead.intersect(NLWrite).simplify().coalesce();
+  Out.NLROIters = NLRead.subtract(NLWrite).simplify().coalesce();
+  Out.NLWOIters = NLWrite.subtract(NLRead).simplify().coalesce();
+  Out.LocalIters = CpIterSet.subtract(NLRead.unionWith(NLWrite))
+                       .simplify()
+                       .coalesce();
+  Out.NLRWEmpty = Out.NLRWIters.isEmpty();
+  return Out;
+}

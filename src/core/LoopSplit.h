@@ -1,0 +1,54 @@
+//===- core/LoopSplit.h - Non-local index-set splitting (Figure 4) -------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's loop-splitting transformation: the iteration set of a
+/// partitioned loop nest (one statement group) is split into the iterations
+/// that touch only local data and those that read, write, or read-and-write
+/// non-local data. The four sections are scheduled per Figure 4(b) to
+/// overlap communication with the local iterations, and references in local
+/// sections need no buffer-access checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_CORE_LOOPSPLIT_H
+#define DHPF_CORE_LOOPSPLIT_H
+
+#include "core/Partition.h"
+#include "hpf/Maps.h"
+
+#include <vector>
+
+namespace dhpf {
+namespace core {
+
+/// One potentially non-local reference of a statement group.
+struct SplitRef {
+  Relation RefMap; ///< loop -> data
+  Relation LayoutMine; ///< data owned by m: Layout({mv}) of its array
+  bool IsWrite = false;
+};
+
+/// The four iteration sections (all parameterized by mv*).
+struct SplitSets {
+  Relation LocalIters;  ///< touch only local data
+  Relation NLROIters;   ///< read non-local data only
+  Relation NLWOIters;   ///< write non-local data only
+  Relation NLRWIters;   ///< both
+  /// True when NLRW is empty, enabling write-latency overlap as well
+  /// (Figure 4(b)'s discussion).
+  bool NLRWEmpty = false;
+};
+
+/// Computes Figure 4(a)'s sets for one statement group with iteration set
+/// \p CpIterSet (already bound to the representative processor).
+SplitSets computeLoopSplit(const Relation &CpIterSet,
+                           const std::vector<SplitRef> &Refs);
+
+} // namespace core
+} // namespace dhpf
+
+#endif // DHPF_CORE_LOOPSPLIT_H

@@ -1,0 +1,81 @@
+//===- core/Partition.cpp - Computation partitioning ---------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Partition.h"
+
+using namespace dhpf;
+using namespace dhpf::core;
+using namespace dhpf::hpf;
+
+std::string core::myDimParam(unsigned Dim) {
+  return "mv" + std::to_string(Dim);
+}
+
+CPInfo core::computeCP(const MapBuilder &MB, const ComputeNest &Nest,
+                       const Statement &S) {
+  CPInfo Info;
+  // The CP terms: explicit ON_HOME references, or the write reference
+  // (owner-computes rule) when none are given.
+  std::vector<Reference> Terms = S.OnHome;
+  if (Terms.empty())
+    Terms.push_back(S.Write);
+
+  Relation LoopSet = MB.loopSet(Nest);
+  bool First = true;
+  for (const Reference &R : Terms) {
+    LayoutResult L = MB.layout(R.Array);
+    if (L.ProcName.empty()) {
+      // Replicated owner: the statement runs everywhere. A union with a
+      // replicated term replicates the whole statement.
+      Info.Replicated = true;
+      Info.CPMap = Relation();
+      return Info;
+    }
+    Relation RM = MB.refMap(Nest, R);
+    Relation Term = L.Map.composeWith(RM.inverse()).restrictRange(LoopSet);
+    if (First) {
+      Info.CPMap = std::move(Term);
+      Info.Dims = L.Dims;
+      Info.ProcName = L.ProcName;
+      First = false;
+    } else {
+      // Paper Section 5: CP terms over different processor arrays cannot
+      // be combined into a single mapping; we support one processor array
+      // per statement (the common case the paper also optimizes for).
+      assert(Info.ProcName == L.ProcName &&
+             "CP terms must share one processor array");
+      Info.CPMap = Info.CPMap.unionWith(Term);
+    }
+  }
+  return Info;
+}
+
+Relation core::cpIterSet(const MapBuilder &MB, const ComputeNest &Nest,
+                         const CPInfo &CP) {
+  if (CP.Replicated)
+    return MB.loopSet(Nest);
+  std::vector<std::string> Names;
+  for (unsigned D = 0; D != CP.CPMap.numIn(); ++D)
+    Names.push_back(myDimParam(D));
+  return CP.CPMap.bindDomainToParams(Names);
+}
+
+std::vector<unsigned> core::groupStatements(const std::vector<CPInfo> &CPs) {
+  std::vector<unsigned> Groups(CPs.size(), 0);
+  unsigned Cur = 0;
+  for (unsigned I = 1; I < CPs.size(); ++I) {
+    const CPInfo &A = CPs[I - 1], &B = CPs[I];
+    bool Same = A.Replicated == B.Replicated;
+    if (Same && !A.Replicated)
+      Same = A.ProcName == B.ProcName &&
+             A.CPMap.space().sameDims(B.CPMap.space()) &&
+             A.CPMap.isEqualTo(B.CPMap);
+    if (!Same)
+      ++Cur;
+    Groups[I] = Cur;
+  }
+  return Groups;
+}

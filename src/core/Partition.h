@@ -1,0 +1,62 @@
+//===- core/Partition.h - Computation partitioning (paper Section 3.1) ---===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's general computation partitioning (CP) model: a statement's
+/// CP is a union of ON_HOME{A_j(f_j(i))} terms, converted into the explicit
+/// mapping  CPMap = U_j (Layout_{A_j} o RefMap_j^-1) ∩_range loop.
+/// Statements with no ON_HOME terms follow the owner-computes rule (the
+/// write reference). Statement groups — consecutive statements with
+/// identical CPs — share one partitioned loop nest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_CORE_PARTITION_H
+#define DHPF_CORE_PARTITION_H
+
+#include "hpf/Maps.h"
+
+#include <string>
+#include <vector>
+
+namespace dhpf {
+namespace core {
+
+/// The computation partitioning of one statement.
+struct CPInfo {
+  /// True when the statement executes on every processor (ON_HOME of a
+  /// replicated array, or a statement with no distributed references).
+  bool Replicated = false;
+  /// proc/VP tuple -> iterations it executes (valid if !Replicated).
+  Relation CPMap;
+  /// Layout structure of the owning array (physical/virtual dims).
+  std::vector<hpf::VPDimInfo> Dims;
+  std::string ProcName;
+};
+
+/// Names for the "representative processor" parameters: the domain of a
+/// CPMap is bound to parameters mv0, mv1, ... standing for myid's index
+/// (or current virtual-processor index) in each layout dimension.
+std::string myDimParam(unsigned Dim);
+
+/// Computes the explicit CPMap for one statement of a nest.
+CPInfo computeCP(const hpf::MapBuilder &MB, const hpf::ComputeNest &Nest,
+                 const hpf::Statement &S);
+
+/// The statement's iteration set on the representative processor:
+/// cpIterSet = CPMap({mv}) — a set over the loop space parameterized by
+/// the mv* parameters. For replicated CPs this is the whole loop set.
+Relation cpIterSet(const hpf::MapBuilder &MB, const hpf::ComputeNest &Nest,
+                   const CPInfo &CP);
+
+/// Groups consecutive statements with equal CPMaps (statement groups).
+/// Returns the group index of each statement.
+std::vector<unsigned> groupStatements(const std::vector<CPInfo> &CPs);
+
+} // namespace core
+} // namespace dhpf
+
+#endif // DHPF_CORE_PARTITION_H

@@ -1,0 +1,405 @@
+//===- hpf/HpfParser.cpp - Textual front end for the mini-HPF IR ---------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hpf/HpfParser.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+using namespace dhpf;
+using namespace dhpf::hpf;
+
+namespace {
+
+/// A trivial token scanner over one line.
+class LineLexer {
+public:
+  LineLexer(const std::string &Line, unsigned LineNo)
+      : S(Line), LineNo(LineNo) {}
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool atEnd() {
+    skipWs();
+    return Pos >= S.size() || S[Pos] == '!';
+  }
+  char peek() {
+    skipWs();
+    return atEnd() ? '\0' : S[Pos];
+  }
+  bool tryConsume(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  void expect(char C) {
+    bool OK = tryConsume(C);
+    assert(OK && "hpf parse error: unexpected character");
+    (void)OK;
+    (void)LineNo;
+  }
+  bool atIdent() {
+    skipWs();
+    return !atEnd() && (std::isalpha(static_cast<unsigned char>(S[Pos])) ||
+                        S[Pos] == '_');
+  }
+  std::string ident() {
+    skipWs();
+    assert(atIdent() && "hpf parse error: expected identifier");
+    size_t B = Pos;
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_'))
+      ++Pos;
+    return S.substr(B, Pos - B);
+  }
+  bool atNumber() {
+    skipWs();
+    return !atEnd() && std::isdigit(static_cast<unsigned char>(S[Pos]));
+  }
+  int64_t number() {
+    skipWs();
+    assert(atNumber() && "hpf parse error: expected number");
+    int64_t V = 0;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      V = V * 10 + (S[Pos++] - '0');
+    return V;
+  }
+  /// Lookahead for a keyword followed by a non-identifier character.
+  bool tryKeyword(const std::string &KW) {
+    skipWs();
+    if (S.compare(Pos, KW.size(), KW) != 0)
+      return false;
+    size_t After = Pos + KW.size();
+    if (After < S.size() &&
+        (std::isalnum(static_cast<unsigned char>(S[After])) ||
+         S[After] == '_'))
+      return false;
+    Pos = After;
+    return true;
+  }
+
+  /// Affine expression: [-] term ((+|-) term)*, term = [k *] ident | k.
+  AffineExpr affine() {
+    AffineExpr E;
+    int64_t Sign = 1;
+    if (tryConsume('-'))
+      Sign = -1;
+    parseTerm(E, Sign);
+    for (;;) {
+      if (tryConsume('+'))
+        parseTerm(E, 1);
+      else if (tryConsume('-'))
+        parseTerm(E, -1);
+      else
+        break;
+    }
+    return E;
+  }
+
+private:
+  void parseTerm(AffineExpr &E, int64_t Sign) {
+    if (atNumber()) {
+      int64_t K = Sign * number();
+      if (tryConsume('*')) {
+        E.Terms.push_back({ident(), K});
+        return;
+      }
+      E.K += K;
+      return;
+    }
+    E.Terms.push_back({ident(), Sign});
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+  unsigned LineNo;
+};
+
+class HpfParser {
+public:
+  explicit HpfParser(const std::string &Text) : Text(Text) {}
+
+  std::unique_ptr<Program> parse() {
+    std::istringstream In(Text);
+    std::string Line;
+    unsigned LineNo = 0;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      LineLexer L(Line, LineNo);
+      if (L.atEnd())
+        continue;
+      dispatch(L);
+    }
+    assert(Prog && "hpf parse error: missing 'program' line");
+    assert(!InNest && !InProc && SeqStack.empty() &&
+           "hpf parse error: unterminated block");
+    return std::move(Prog);
+  }
+
+private:
+  const std::string &Text;
+  std::unique_ptr<Program> Prog;
+  Procedure *CurProc = nullptr;
+  std::vector<Phase *> SeqStack; // open timeloops
+  bool InProc = false, InNest = false;
+  ComputeNest PendingNest;
+
+  void dispatch(LineLexer &L) {
+    if (L.tryKeyword("program")) {
+      assert(!Prog && "duplicate 'program'");
+      Prog = std::make_unique<Program>(L.ident());
+      return;
+    }
+    assert(Prog && "hpf parse error: 'program' must come first");
+    if (L.tryKeyword("param")) {
+      while (L.atIdent())
+        Prog->addParam(L.ident());
+      return;
+    }
+    if (L.tryKeyword("processors")) {
+      std::string Name = L.ident();
+      L.expect('(');
+      std::vector<ProcArray::Dim> Dims;
+      do {
+        if (L.tryConsume('*'))
+          Dims.push_back(Program::procDimSym(L.ident()));
+        else
+          Dims.push_back(Program::procDim(L.number()));
+      } while (L.tryConsume(','));
+      L.expect(')');
+      Prog->addProcs(Name, Dims);
+      return;
+    }
+    if (L.tryKeyword("template")) {
+      std::string Name = L.ident();
+      Prog->addTemplate(Name, parseRanges(L));
+      return;
+    }
+    if (L.tryKeyword("array")) {
+      std::string Name = L.ident();
+      Prog->addArray(Name, parseRanges(L));
+      if (L.tryKeyword("align")) {
+        // align (i,j,...) with T(expr|*, ...)
+        L.expect('(');
+        std::vector<std::string> Idx;
+        do {
+          Idx.push_back(L.ident());
+        } while (L.tryConsume(','));
+        L.expect(')');
+        bool OK = L.tryKeyword("with");
+        assert(OK && "hpf parse error: expected 'with'");
+        (void)OK;
+        std::string T = L.ident();
+        L.expect('(');
+        Align A;
+        A.ArrayName = Name;
+        A.TemplateName = T;
+        do {
+          if (L.tryConsume('*')) {
+            A.Terms.push_back(alignStar());
+            continue;
+          }
+          AffineExpr E = L.affine();
+          // The expression must be c or s*<align-var>+c.
+          if (E.Terms.empty()) {
+            A.Terms.push_back(alignConst(E.K));
+            continue;
+          }
+          assert(E.Terms.size() == 1 && "nonlinear align expression");
+          unsigned Dim = ~0u;
+          for (unsigned I = 0; I != Idx.size(); ++I)
+            if (Idx[I] == E.Terms[0].first)
+              Dim = I;
+          assert(Dim != ~0u && "align uses an unbound index name");
+          A.Terms.push_back(alignDim(Dim, E.Terms[0].second, E.K));
+        } while (L.tryConsume(','));
+        L.expect(')');
+        Prog->addAlign(A);
+      }
+      return;
+    }
+    if (L.tryKeyword("distribute")) {
+      std::string T = L.ident();
+      L.expect('(');
+      Distribute D;
+      D.TemplateName = T;
+      do {
+        if (L.tryConsume('*')) {
+          D.Specs.push_back(distStar());
+        } else if (L.tryKeyword("block")) {
+          D.Specs.push_back(distBlock());
+        } else if (L.tryKeyword("cyclic")) {
+          if (L.tryConsume('(')) {
+            D.Specs.push_back(distCyclicK(L.number()));
+            L.expect(')');
+          } else {
+            D.Specs.push_back(distCyclic());
+          }
+        } else {
+          assert(false && "hpf parse error: unknown distribution kind");
+        }
+      } while (L.tryConsume(','));
+      L.expect(')');
+      bool OK = L.tryKeyword("onto");
+      assert(OK && "hpf parse error: expected 'onto'");
+      (void)OK;
+      D.ProcName = L.ident();
+      Prog->addDistribute(D);
+      return;
+    }
+    if (L.tryKeyword("procedure")) {
+      assert(!InProc && "nested procedures are not supported");
+      CurProc = &Prog->addProcedure(L.ident());
+      InProc = true;
+      return;
+    }
+    if (L.tryKeyword("endprocedure")) {
+      assert(InProc && SeqStack.empty() && !InNest);
+      InProc = false;
+      CurProc = nullptr;
+      return;
+    }
+    if (L.tryKeyword("timeloop")) {
+      assert(InProc && !InNest);
+      std::string Var = L.ident();
+      L.expect('=');
+      int64_t Lo = L.number();
+      L.expect(',');
+      int64_t Hi = L.number();
+      assert(Lo == 1 && "timeloop must start at 1");
+      Phase &Ph = SeqStack.empty()
+                      ? Prog->addSeqLoop(*CurProc, Var, Hi)
+                      : [&]() -> Phase & {
+        Phase Sub;
+        Sub.K = Phase::Kind::SeqLoop;
+        Sub.SeqVar = Var;
+        Sub.SeqCount = Hi;
+        SeqStack.back()->Body.push_back(std::move(Sub));
+        return SeqStack.back()->Body.back();
+      }();
+      SeqStack.push_back(&Ph);
+      return;
+    }
+    if (L.tryKeyword("endloop")) {
+      assert(!SeqStack.empty() && !InNest);
+      SeqStack.pop_back();
+      return;
+    }
+    if (L.tryKeyword("nest")) {
+      assert(InProc && !InNest);
+      PendingNest = ComputeNest();
+      PendingNest.Name = L.ident();
+      if (L.tryKeyword("vectorize"))
+        PendingNest.VectorizeLevel = static_cast<unsigned>(L.number());
+      InNest = true;
+      return;
+    }
+    if (L.tryKeyword("endnest")) {
+      assert(InNest);
+      if (SeqStack.empty())
+        Prog->addNest(*CurProc, PendingNest);
+      else
+        Prog->addNestIn(*SeqStack.back(), PendingNest);
+      InNest = false;
+      return;
+    }
+    if (L.tryKeyword("do")) {
+      assert(InNest && "hpf parse error: 'do' outside a nest");
+      std::string Var = L.ident();
+      L.expect('=');
+      AffineExpr Lo = L.affine();
+      L.expect(',');
+      AffineExpr Hi = L.affine();
+      PendingNest.Loops.push_back(loop(Var, Lo, Hi));
+      return;
+    }
+    if (L.tryKeyword("reduce")) {
+      assert(InProc && !InNest);
+      Reduction R;
+      if (L.tryKeyword("sum"))
+        R.O = Reduction::Op::Sum;
+      else if (L.tryKeyword("maxloc"))
+        R.O = Reduction::Op::MaxLoc;
+      else if (L.tryKeyword("max"))
+        R.O = Reduction::Op::Max;
+      else
+        assert(false && "hpf parse error: unknown reduction op");
+      R.Name = L.ident();
+      if (L.tryKeyword("elems"))
+        R.Elems = static_cast<uint64_t>(L.number());
+      if (SeqStack.empty())
+        Prog->addReduction(*CurProc, R);
+      else
+        Prog->addReductionIn(*SeqStack.back(), R);
+      return;
+    }
+    // Otherwise: an assignment statement  W(subs) = R(subs)... [options].
+    assert(InNest && "hpf parse error: statement outside a nest");
+    Statement S;
+    S.Write = parseRef(L);
+    L.expect('=');
+    while (L.atIdent() && !peekOption(L))
+      S.Reads.push_back(parseRef(L));
+    for (;;) {
+      if (L.tryKeyword("onhome")) {
+        S.OnHome.push_back(parseRef(L));
+        continue;
+      }
+      if (L.tryKeyword("cost")) {
+        S.Cost = static_cast<double>(L.number());
+        continue;
+      }
+      if (L.tryKeyword("sem")) {
+        S.SemanticsId = static_cast<int>(L.number());
+        continue;
+      }
+      break;
+    }
+    PendingNest.Stmts.push_back(std::move(S));
+  }
+
+  /// True if the next identifier is one of the statement option keywords.
+  bool peekOption(LineLexer &L) {
+    LineLexer Copy = L;
+    return Copy.tryKeyword("onhome") || Copy.tryKeyword("cost") ||
+           Copy.tryKeyword("sem");
+  }
+
+  Reference parseRef(LineLexer &L) {
+    Reference R;
+    R.Array = L.ident();
+    L.expect('(');
+    do {
+      R.Subs.push_back(L.affine());
+    } while (L.tryConsume(','));
+    L.expect(')');
+    return R;
+  }
+
+  std::vector<DimRange> parseRanges(LineLexer &L) {
+    L.expect('(');
+    std::vector<DimRange> Ranges;
+    do {
+      AffineExpr Lo = L.affine();
+      L.expect(':');
+      AffineExpr Hi = L.affine();
+      Ranges.push_back(range(Lo, Hi));
+    } while (L.tryConsume(','));
+    L.expect(')');
+    return Ranges;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Program> hpf::parseHpfProgram(const std::string &Text) {
+  return HpfParser(Text).parse();
+}

@@ -1,0 +1,51 @@
+//===- hpf/HpfParser.h - Textual front end for the mini-HPF IR -----------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small line-oriented surface syntax for mini-HPF programs, so compiler
+/// inputs can be written as text (examples, tests, fuzzing) instead of only
+/// through the builder API. One declaration or statement per line; '!'
+/// starts a comment. Keywords:
+///
+///   program <name>
+///   param <name>...
+///   processors <name>(<extent|*sym>, ...)
+///   template <name>(<lo>:<hi>, ...)
+///   array <name>(<lo>:<hi>, ...) [align (<i>,<j>,..) with T(<expr>|*,..)]
+///   distribute <T>(block|cyclic|cyclic(k)|*, ...) onto <P>
+///   procedure <name> ... endprocedure
+///   timeloop <var> = <lo>, <hi> ... endloop
+///   nest <name> [vectorize <level>]
+///     do <var> = <lo-expr>, <hi-expr>
+///     <W>(<subs>) = <R1>(<subs>) [<R2>(...) ...]
+///         [onhome <A>(<subs>)] [cost <c>] [sem <id>]
+///   endnest
+///   reduce sum|max|maxloc <name> [elems <n>]
+///
+/// Bound and subscript expressions are affine over loop variables and
+/// parameters: terms like `2*i`, `i+1`, `N-1`, `pv+1`, constants.
+/// Malformed input asserts with the offending line number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_HPF_HPFPARSER_H
+#define DHPF_HPF_HPFPARSER_H
+
+#include "hpf/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace dhpf {
+namespace hpf {
+
+/// Parses the textual syntax above into a Program.
+std::unique_ptr<Program> parseHpfProgram(const std::string &Text);
+
+} // namespace hpf
+} // namespace dhpf
+
+#endif // DHPF_HPF_HPFPARSER_H

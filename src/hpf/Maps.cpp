@@ -1,0 +1,445 @@
+//===- hpf/Maps.cpp - Primitive sets and mappings (paper Figure 2) -------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hpf/Maps.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+
+using namespace dhpf;
+using namespace dhpf::hpf;
+
+namespace {
+
+/// Collects parameter names referenced by \p E that are not loop variables,
+/// preserving first-use order in \p Params.
+void collectParams(const AffineExpr &E,
+                   const std::vector<std::string> &LoopVars,
+                   std::vector<std::string> &Params) {
+  for (auto &[Name, Coef] : E.Terms) {
+    (void)Coef;
+    if (std::find(LoopVars.begin(), LoopVars.end(), Name) != LoopVars.end())
+      continue;
+    if (std::find(Params.begin(), Params.end(), Name) == Params.end())
+      Params.push_back(Name);
+  }
+}
+
+/// A linear form over conjunct columns: sum(Coef * col) + K.
+struct LinTerm {
+  std::vector<std::pair<unsigned, int64_t>> Cols;
+  int64_t K = 0;
+
+  LinTerm scaled(int64_t S) const {
+    LinTerm R;
+    for (auto &[C, F] : Cols)
+      R.Cols.push_back({C, mulOv(F, S)});
+    R.K = mulOv(K, S);
+    return R;
+  }
+  LinTerm plus(const LinTerm &O) const {
+    LinTerm R = *this;
+    for (auto &T : O.Cols)
+      R.Cols.push_back(T);
+    R.K = addOv(R.K, O.K);
+    return R;
+  }
+  LinTerm plus(int64_t C) const {
+    LinTerm R = *this;
+    R.K = addOv(R.K, C);
+    return R;
+  }
+};
+
+/// Resolves an AffineExpr into a LinTerm given loop-variable columns and the
+/// relation's parameter list.
+LinTerm resolve(const AffineExpr &E, const Conjunct &C,
+                const std::vector<std::string> &LoopVars,
+                const Space &Sp) {
+  LinTerm T;
+  T.K = E.K;
+  for (auto &[Name, Coef] : E.Terms) {
+    auto It = std::find(LoopVars.begin(), LoopVars.end(), Name);
+    if (It != LoopVars.end()) {
+      unsigned D = It - LoopVars.begin();
+      T.Cols.push_back({C.inCol(D), Coef});
+      continue;
+    }
+    int P = Sp.paramIndex(Name);
+    assert(P >= 0 && "unresolved name in affine expression");
+    T.Cols.push_back({C.paramCol(P), Coef});
+  }
+  return T;
+}
+
+/// Adds constraint: T (>= 0 | = 0).
+void addTerm(Conjunct &C, const LinTerm &T, bool IsEq) {
+  C.addConstraint(T.Cols, T.K, IsEq);
+}
+
+/// Adds A - B >= 0 (A >= B).
+void addGE(Conjunct &C, const LinTerm &A, const LinTerm &B) {
+  addTerm(C, A.plus(B.scaled(-1)), /*IsEq=*/false);
+}
+
+} // namespace
+
+int64_t MapBuilder::constOf(const AffineExpr &E) {
+  assert(E.Terms.empty() && "expected a compile-time constant expression");
+  return E.K;
+}
+
+Relation MapBuilder::procSet(const std::string &ProcName) const {
+  const ProcArray &PA = Prog.procArray(ProcName);
+  std::vector<std::string> Dims, Params;
+  for (unsigned I = 0; I != PA.rank(); ++I) {
+    Dims.push_back("p" + std::to_string(I));
+    if (PA.Dims[I].isSymbolic())
+      Params.push_back(PA.Dims[I].Symbol);
+  }
+  Relation R(Space::set(Dims, Params));
+  Conjunct &C = R.addConjunct();
+  for (unsigned I = 0; I != PA.rank(); ++I) {
+    C.addConstraint({{C.outCol(I), 1}}, 0, /*IsEq=*/false); // p >= 0
+    if (PA.Dims[I].isSymbolic()) {
+      int P = R.space().paramIndex(PA.Dims[I].Symbol);
+      C.addConstraint({{C.outCol(I), -1}, {C.paramCol(P), 1}}, -1,
+                      /*IsEq=*/false); // p <= extent - 1
+    } else {
+      C.addConstraint({{C.outCol(I), -1}}, PA.Dims[I].Fixed - 1,
+                      /*IsEq=*/false);
+    }
+  }
+  return R;
+}
+
+Relation MapBuilder::dataSet(const std::string &ArrayName) const {
+  const ArrayDecl &A = Prog.array(ArrayName);
+  std::vector<std::string> Dims, Params;
+  for (unsigned I = 0; I != A.rank(); ++I) {
+    Dims.push_back("a" + std::to_string(I));
+    collectParams(A.Dims[I].Lo, {}, Params);
+    collectParams(A.Dims[I].Hi, {}, Params);
+  }
+  Relation R(Space::set(Dims, Params));
+  Conjunct &C = R.addConjunct();
+  for (unsigned I = 0; I != A.rank(); ++I) {
+    LinTerm Dim;
+    Dim.Cols.push_back({C.outCol(I), 1});
+    addGE(C, Dim, resolve(A.Dims[I].Lo, C, {}, R.space()));
+    addGE(C, resolve(A.Dims[I].Hi, C, {}, R.space()), Dim);
+  }
+  return R;
+}
+
+LayoutResult MapBuilder::layout(const std::string &ArrayName) const {
+  const ArrayDecl &A = Prog.array(ArrayName);
+  const Align *Al = Prog.alignOf(ArrayName);
+  LayoutResult Res;
+
+  if (!Al) {
+    // Replicated array: a rank-0 domain owning every element.
+    Relation DS = dataSet(ArrayName);
+    Relation Map(Space::map({}, DS.space().outNames(), DS.space().params()));
+    for (const Conjunct &C : DS.conjuncts())
+      Map.addConjunct(C); // identical column layout (0 in dims)
+    Res.Map = std::move(Map);
+    return Res;
+  }
+
+  const TemplateDecl &T = Prog.templateDecl(Al->TemplateName);
+  const Distribute &D = Prog.distributeOf(Al->TemplateName);
+  const ProcArray &PA = Prog.procArray(D.ProcName);
+  Res.ProcName = D.ProcName;
+  assert(Al->Terms.size() == T.rank() && "align terms must cover template");
+  assert(D.Specs.size() == T.rank() && "dist specs must cover template");
+
+  // Determine the layout's input dimensions and gather parameters.
+  std::vector<std::string> InDims, Params;
+  unsigned ProcDim = 0;
+  for (unsigned TD = 0; TD != T.rank(); ++TD) {
+    collectParams(T.Dims[TD].Lo, {}, Params);
+    collectParams(T.Dims[TD].Hi, {}, Params);
+    const DistSpec &Spec = D.Specs[TD];
+    if (Spec.K == DistSpec::Kind::Star)
+      continue;
+    const ProcArray::Dim &PD = PA.Dims[ProcDim];
+    VPDimInfo Info;
+    Info.Kind = Spec.K;
+    Info.CyclicK = Spec.BlockK;
+    Info.TemplateDim = TD;
+    Info.TmplLo = constOf(T.Dims[TD].Lo);
+    Info.ProcFixed = PD.Fixed;
+    Info.ProcSym = PD.Symbol;
+    // Symbolic processor extents never appear in the layout constraints
+    // (that is the whole point of the VP model), so they are not layout
+    // parameters; VPDimInfo carries them for code generation instead.
+    bool SymbolicP = PD.isSymbolic();
+    switch (Spec.K) {
+    case DistSpec::Kind::Block: {
+      bool ConstExtent = T.Dims[TD].Lo.Terms.empty() &&
+                         T.Dims[TD].Hi.Terms.empty();
+      if (!SymbolicP && ConstExtent) {
+        int64_t Extent = constOf(T.Dims[TD].Hi) - Info.TmplLo + 1;
+        Info.BlockFixed = ceilDiv(Extent, PD.Fixed);
+      } else {
+        // Symbolic block size: the product B*p is not representable, so
+        // this dimension is virtualized (paper Section 4.1).
+        Info.Virtualized = true;
+        Info.BlockParam = blockParamName(T.Name, TD);
+        Params.push_back(Info.BlockParam);
+      }
+      break;
+    }
+    case DistSpec::Kind::Cyclic:
+    case DistSpec::Kind::CyclicK:
+      if (SymbolicP)
+        Info.Virtualized = true;
+      break;
+    case DistSpec::Kind::Star:
+      break;
+    }
+    InDims.push_back((Info.Virtualized ? "v" : "p") +
+                     std::to_string(ProcDim));
+    Res.Dims.push_back(Info);
+    ++ProcDim;
+  }
+  assert(ProcDim == PA.rank() &&
+         "distributed dims must match the processor array rank");
+
+  std::vector<std::string> OutDims;
+  for (unsigned I = 0; I != A.rank(); ++I) {
+    OutDims.push_back("a" + std::to_string(I));
+    collectParams(A.Dims[I].Lo, {}, Params);
+    collectParams(A.Dims[I].Hi, {}, Params);
+  }
+
+  Relation Map(Space::map(InDims, OutDims, Params));
+  Conjunct &C = Map.addConjunct();
+  const Space &Sp = Map.space();
+
+  // Array bounds.
+  for (unsigned I = 0; I != A.rank(); ++I) {
+    LinTerm Dim;
+    Dim.Cols.push_back({C.outCol(I), 1});
+    addGE(C, Dim, resolve(A.Dims[I].Lo, C, {}, Sp));
+    addGE(C, resolve(A.Dims[I].Hi, C, {}, Sp), Dim);
+  }
+
+  // Per template dimension: relate the (virtual) processor index, the
+  // template position t (an expression or an existential), and the data.
+  unsigned PDim = 0;
+  for (unsigned TD = 0; TD != T.rank(); ++TD) {
+    const AlignTerm &AT = Al->Terms[TD];
+    LinTerm Tpos;
+    switch (AT.K) {
+    case AlignTerm::Kind::ArrayDim:
+      assert(AT.ArrayDim < A.rank());
+      Tpos.Cols.push_back({C.outCol(AT.ArrayDim), AT.Stride});
+      Tpos.K = AT.Offset;
+      break;
+    case AlignTerm::Kind::Constant:
+      Tpos.K = AT.Constant;
+      break;
+    case AlignTerm::Kind::Replicated:
+      Tpos.Cols.push_back({C.addExistVar(), 1});
+      break;
+    }
+    // Template bounds on t.
+    addGE(C, Tpos, resolve(T.Dims[TD].Lo, C, {}, Sp));
+    addGE(C, resolve(T.Dims[TD].Hi, C, {}, Sp), Tpos);
+
+    const DistSpec &Spec = D.Specs[TD];
+    if (Spec.K == DistSpec::Kind::Star)
+      continue;
+    const VPDimInfo &Info = Res.Dims[PDim];
+    LinTerm P; // the layout input index (physical or virtual)
+    P.Cols.push_back({C.inCol(PDim), 1});
+    switch (Spec.K) {
+    case DistSpec::Kind::Block: {
+      if (!Info.Virtualized) {
+        // TmplLo + B*p <= t <= TmplLo + B*p + B - 1, 0 <= p < procs.
+        LinTerm Base = P.scaled(Info.BlockFixed).plus(Info.TmplLo);
+        addGE(C, Tpos, Base);
+        addGE(C, Base.plus(Info.BlockFixed - 1), Tpos);
+        addGE(C, P, LinTerm());
+        addTerm(C, P.scaled(-1).plus(Info.ProcFixed - 1), /*IsEq=*/false);
+      } else {
+        // VP model: v <= t <= v + B - 1, TmplLo <= v <= TmplHi.
+        int BP = Sp.paramIndex(Info.BlockParam);
+        assert(BP >= 0);
+        LinTerm BTerm;
+        BTerm.Cols.push_back({C.paramCol(BP), 1});
+        addGE(C, Tpos, P);
+        addGE(C, P.plus(BTerm).plus(-1), Tpos);
+        addGE(C, P, LinTerm().plus(Info.TmplLo));
+        addGE(C, resolve(T.Dims[TD].Hi, C, {}, Sp), P);
+      }
+      break;
+    }
+    case DistSpec::Kind::Cyclic: {
+      if (!Info.Virtualized) {
+        // exists e : t - TmplLo - p = procs * e, 0 <= p < procs.
+        unsigned E = C.addExistVar();
+        LinTerm Row = Tpos.plus(P.scaled(-1)).plus(-Info.TmplLo);
+        Row.Cols.push_back({E, -Info.ProcFixed});
+        addTerm(C, Row, /*IsEq=*/true);
+        addGE(C, P, LinTerm());
+        addTerm(C, P.scaled(-1).plus(Info.ProcFixed - 1), /*IsEq=*/false);
+      } else {
+        // VP model: t = v (every template cell is a virtual processor).
+        addTerm(C, Tpos.plus(P.scaled(-1)), /*IsEq=*/true);
+      }
+      break;
+    }
+    case DistSpec::Kind::CyclicK: {
+      int64_t K = Spec.BlockK;
+      assert(K > 0 && "cyclic(k) requires a constant positive k");
+      if (!Info.Virtualized) {
+        // exists e : TmplLo + k*p + k*procs*e <= t <= ... + k - 1.
+        unsigned E = C.addExistVar();
+        LinTerm Base = P.scaled(K).plus(Info.TmplLo);
+        Base.Cols.push_back({E, mulOv(K, Info.ProcFixed)});
+        addGE(C, Tpos, Base);
+        addGE(C, Base.plus(K - 1), Tpos);
+        addGE(C, P, LinTerm());
+        addTerm(C, P.scaled(-1).plus(Info.ProcFixed - 1), /*IsEq=*/false);
+      } else {
+        // VP model: v is a block start: exists e : v - TmplLo = k*e,
+        // v <= t <= v + k - 1.
+        unsigned E = C.addExistVar();
+        LinTerm Row = P.plus(-Info.TmplLo);
+        Row.Cols.push_back({E, -K});
+        addTerm(C, Row, /*IsEq=*/true);
+        addGE(C, Tpos, P);
+        addGE(C, P.plus(K - 1), Tpos);
+        addGE(C, P, LinTerm().plus(Info.TmplLo));
+        addGE(C, resolve(T.Dims[TD].Hi, C, {}, Sp), P);
+      }
+      break;
+    }
+    case DistSpec::Kind::Star:
+      break;
+    }
+    ++PDim;
+  }
+  Res.Map = std::move(Map);
+  return Res;
+}
+
+Relation MapBuilder::loopSet(const ComputeNest &Nest) const {
+  std::vector<std::string> Dims, Params;
+  for (const Loop &L : Nest.Loops)
+    Dims.push_back(L.Var);
+  for (const Loop &L : Nest.Loops) {
+    collectParams(L.Lo, Dims, Params);
+    collectParams(L.Hi, Dims, Params);
+  }
+  Relation R(Space::set(Dims, Params));
+  Conjunct &C = R.addConjunct();
+  for (unsigned I = 0; I != Nest.Loops.size(); ++I) {
+    // Loop bounds may reference outer loop variables: resolve against the
+    // set's own dimensions (as "out" columns).
+    auto ResolveSet = [&](const AffineExpr &E) {
+      LinTerm T;
+      T.K = E.K;
+      for (auto &[Name, Coef] : E.Terms) {
+        auto It = std::find(Dims.begin(), Dims.end(), Name);
+        if (It != Dims.end()) {
+          T.Cols.push_back(
+              {C.outCol(static_cast<unsigned>(It - Dims.begin())), Coef});
+          continue;
+        }
+        int P = R.space().paramIndex(Name);
+        assert(P >= 0 && "unresolved name in loop bound");
+        T.Cols.push_back({C.paramCol(P), Coef});
+      }
+      return T;
+    };
+    LinTerm Var;
+    Var.Cols.push_back({C.outCol(I), 1});
+    addGE(C, Var, ResolveSet(Nest.Loops[I].Lo));
+    addGE(C, ResolveSet(Nest.Loops[I].Hi), Var);
+  }
+  return R;
+}
+
+Relation MapBuilder::refMap(const ComputeNest &Nest,
+                            const Reference &Ref) const {
+  const ArrayDecl &A = Prog.array(Ref.Array);
+  assert(Ref.Subs.size() == A.rank() && "subscript arity mismatch");
+  std::vector<std::string> InDims, OutDims, Params;
+  for (const Loop &L : Nest.Loops)
+    InDims.push_back(L.Var);
+  for (unsigned I = 0; I != A.rank(); ++I)
+    OutDims.push_back("a" + std::to_string(I));
+  for (const AffineExpr &S : Ref.Subs)
+    collectParams(S, InDims, Params);
+  Relation R(Space::map(InDims, OutDims, Params));
+  Conjunct &C = R.addConjunct();
+  for (unsigned I = 0; I != A.rank(); ++I) {
+    LinTerm T = resolve(Ref.Subs[I], C, InDims, R.space());
+    T.Cols.push_back({C.outCol(I), -1});
+    addTerm(C, T, /*IsEq=*/true); // a_i = sub_i(loop vars)
+  }
+  return R;
+}
+
+std::map<std::string, int64_t> MapBuilder::layoutBindings(
+    const std::map<std::string, int64_t> &Bindings,
+    const std::map<std::string, std::vector<int64_t>> &ProcExtents) const {
+  std::map<std::string, int64_t> Out = Bindings;
+  auto EvalAffine = [&](const AffineExpr &E) {
+    int64_t V = E.K;
+    for (auto &[Name, Coef] : E.Terms) {
+      auto It = Out.find(Name);
+      assert(It != Out.end() && "unbound parameter in layout binding");
+      V = addOv(V, mulOv(Coef, It->second));
+    }
+    return V;
+  };
+  // Bind symbolic processor extents.
+  for (auto &[PName, Ext] : ProcExtents) {
+    const ProcArray &PA = Prog.procArray(PName);
+    assert(Ext.size() == PA.rank() && "processor extent arity mismatch");
+    for (unsigned I = 0; I != PA.rank(); ++I)
+      if (PA.Dims[I].isSymbolic())
+        Out[PA.Dims[I].Symbol] = Ext[I];
+  }
+  // Bind block sizes for every distributed template.
+  for (const auto &[AName, A] : Prog.arrays()) {
+    (void)A;
+    const Align *Al = Prog.alignOf(AName);
+    if (!Al)
+      continue;
+    const TemplateDecl &T = Prog.templateDecl(Al->TemplateName);
+    const Distribute &D = Prog.distributeOf(Al->TemplateName);
+    const ProcArray &PA = Prog.procArray(D.ProcName);
+    auto ExtIt = ProcExtents.find(D.ProcName);
+    unsigned PDim = 0;
+    for (unsigned TD = 0; TD != T.rank(); ++TD) {
+      const DistSpec &Spec = D.Specs[TD];
+      if (Spec.K == DistSpec::Kind::Star)
+        continue;
+      if (Spec.K == DistSpec::Kind::Block) {
+        int64_t PN;
+        if (ExtIt != ProcExtents.end())
+          PN = ExtIt->second[PDim];
+        else {
+          assert(!PA.Dims[PDim].isSymbolic() &&
+                 "symbolic processor extent requires run-time extents");
+          PN = PA.Dims[PDim].Fixed;
+        }
+        int64_t Extent =
+            EvalAffine(T.Dims[TD].Hi) - EvalAffine(T.Dims[TD].Lo) + 1;
+        Out[blockParamName(T.Name, TD)] = ceilDiv(Extent, PN);
+      }
+      ++PDim;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,115 @@
+//===- hpf/Maps.h - Primitive sets and mappings (paper Figure 2) ---------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the primitive sets and mappings of the paper's Section 2 from the
+/// mini-HPF IR: proc (processor index space), loop (iteration space),
+/// Layout : proc -> data (from ALIGN and DISTRIBUTE), and
+/// RefMap : loop -> data (from affine subscripts).
+///
+/// Distributions with symbolic parameters (unknown processor counts or
+/// block sizes) cannot be expressed directly — they would need products of
+/// unknowns — so this module realizes Section 4.1's *optimized virtual
+/// processor model*: the layout maps virtual-processor indices (in template
+/// coordinates) to data, and per-dimension VPDimInfo records how physical
+/// processors map to virtual ones for code generation (Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_HPF_MAPS_H
+#define DHPF_HPF_MAPS_H
+
+#include "hpf/Program.h"
+#include "pset/Relation.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dhpf {
+namespace hpf {
+
+/// How one processor/VP dimension of a layout maps to physical processors.
+struct VPDimInfo {
+  DistSpec::Kind Kind = DistSpec::Kind::Block;
+  /// True when the layout dimension is a virtual processor index (template
+  /// coordinates); false when it is a physical processor index.
+  bool Virtualized = false;
+  /// Processor-array extent: a constant or a parameter name.
+  int64_t ProcFixed = 0;
+  std::string ProcSym;
+  /// Block size: a constant or a parameter name (ceil(extent/P), bound at
+  /// run time). Meaningful for Block.
+  int64_t BlockFixed = 0;
+  std::string BlockParam;
+  int64_t CyclicK = 0; // for CyclicK
+  int64_t TmplLo = 1;  // template lower bound (constant required)
+  unsigned TemplateDim = 0;
+};
+
+/// A layout mapping plus its physical/virtual dimension structure.
+struct LayoutResult {
+  Relation Map; ///< proc/VP index tuple -> owned array elements
+  std::vector<VPDimInfo> Dims;
+  std::string ProcName; ///< owning processor array ("" for replicated)
+  bool anyVirtual() const {
+    for (const VPDimInfo &D : Dims)
+      if (D.Virtualized)
+        return true;
+    return false;
+  }
+};
+
+/// Builds primitive sets and mappings for one program.
+class MapBuilder {
+public:
+  explicit MapBuilder(const Program &P) : Prog(P) {}
+
+  /// The physical processor index space: { [p0..] : 0 <= pk < extent }.
+  /// Symbolic extents appear as parameters.
+  Relation procSet(const std::string &ProcName) const;
+
+  /// The index set of an array: { [a0..] : bounds }.
+  Relation dataSet(const std::string &ArrayName) const;
+
+  /// Layout_A : proc/VP -> data (paper Figure 2: Dist o Align). Replicated
+  /// arrays (no ALIGN) yield a rank-0 domain mapping to all elements.
+  LayoutResult layout(const std::string &ArrayName) const;
+
+  /// The iteration space of a nest: { [i0..] : bounds }, with bounds affine
+  /// in outer loop variables and parameters.
+  Relation loopSet(const ComputeNest &Nest) const;
+
+  /// RefMap_r : loop -> data for one reference of a nest.
+  Relation refMap(const ComputeNest &Nest, const Reference &Ref) const;
+
+  /// Computes concrete values for layout parameters (symbolic processor
+  /// extents and block sizes B = ceil(extent/P)) given processor-array
+  /// extents and program parameter values. Returns Bindings extended with
+  /// the block-size parameters.
+  std::map<std::string, int64_t>
+  layoutBindings(const std::map<std::string, int64_t> &Bindings,
+                 const std::map<std::string, std::vector<int64_t>>
+                     &ProcExtents) const;
+
+  /// The name of the block-size parameter for a template dimension.
+  static std::string blockParamName(const std::string &Tmpl, unsigned Dim) {
+    return "B$" + Tmpl + "$" + std::to_string(Dim);
+  }
+
+  const Program &program() const { return Prog; }
+
+private:
+  const Program &Prog;
+
+  /// Evaluates an AffineExpr to a constant; asserts if it involves names.
+  static int64_t constOf(const AffineExpr &E);
+};
+
+} // namespace hpf
+} // namespace dhpf
+
+#endif // DHPF_HPF_MAPS_H

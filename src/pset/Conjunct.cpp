@@ -1,0 +1,213 @@
+//===- pset/Conjunct.cpp - Conjunction of affine constraints -------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pset/Conjunct.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace dhpf;
+
+unsigned Conjunct::addExistVar() {
+  unsigned NewCol = numVars(); // insert before the constant column
+  for (Row &R : Rows)
+    R.Coef.insert(R.Coef.begin() + NewCol, 0);
+  ++NumExists;
+  return NewCol;
+}
+
+bool Conjunct::normalize() {
+  std::vector<Row> Out;
+  Out.reserve(Rows.size());
+  for (Row &R : Rows) {
+    unsigned NV = numVars();
+    int64_t G = 0;
+    for (unsigned I = 0; I != NV; ++I)
+      G = gcd64(G, R.Coef[I]);
+    if (G == 0) {
+      // Constant-only row.
+      if (R.IsEq ? R.constant() != 0 : R.constant() < 0)
+        return false; // trivially unsatisfiable
+      continue;       // trivially true; drop
+    }
+    if (G > 1) {
+      if (R.IsEq) {
+        if (R.constant() % G != 0)
+          return false; // gcd does not divide the constant: no solution
+        for (int64_t &C : R.Coef)
+          C /= G;
+      } else {
+        for (unsigned I = 0; I != NV; ++I)
+          R.Coef[I] /= G;
+        // Tighten: sum >= -c  =>  sum >= ceil(-c/G)  =>  const' = floor(c/G).
+        R.constant() = floorDiv(R.constant(), G);
+      }
+    }
+    Out.push_back(std::move(R));
+  }
+  // Canonicalize equalities so the first nonzero coefficient is positive,
+  // then drop exact duplicates.
+  for (Row &R : Out) {
+    if (!R.IsEq)
+      continue;
+    for (int64_t C : R.Coef) {
+      if (C == 0)
+        continue;
+      if (C < 0)
+        for (int64_t &X : R.Coef)
+          X = -X;
+      break;
+    }
+  }
+  std::sort(Out.begin(), Out.end(), [](const Row &A, const Row &B) {
+    if (A.IsEq != B.IsEq)
+      return A.IsEq > B.IsEq;
+    return A.Coef < B.Coef;
+  });
+  Out.erase(std::unique(Out.begin(), Out.end(),
+                        [](const Row &A, const Row &B) {
+                          return A.IsEq == B.IsEq && A.Coef == B.Coef;
+                        }),
+            Out.end());
+  // Detect the direct contradiction pair e >= k and -e >= -k+1 etc. is left
+  // to the Omega test; here we only catch eq rows contradicting duplicates
+  // cheaply: e = c1 and e = c2 with c1 != c2 after canonicalization differ
+  // in the constant only.
+  for (size_t I = 1; I < Out.size(); ++I) {
+    const Row &A = Out[I - 1], &B = Out[I];
+    if (A.IsEq && B.IsEq &&
+        std::equal(A.Coef.begin(), A.Coef.end() - 1, B.Coef.begin()) &&
+        A.constant() != B.constant())
+      return false;
+  }
+  Rows = std::move(Out);
+  return true;
+}
+
+void Conjunct::substituteUsingEq(unsigned EqIdx, unsigned Col) {
+  assert(EqIdx < Rows.size() && Rows[EqIdx].IsEq && "not an equality row");
+  Row Eq = Rows[EqIdx];
+  int64_t A = Eq.Coef[Col];
+  assert((A == 1 || A == -1) && "substitution needs a unit coefficient");
+  Rows.erase(Rows.begin() + EqIdx);
+  // From Eq:  A*x + rest = 0  =>  x = -A*rest  (since A*A == 1).
+  // For a row R with coefficient CAtCol at x:
+  //   R' = R - CAtCol*A*Eq   (zeroes the x column).
+  for (Row &R : Rows) {
+    int64_t CAtCol = R.Coef[Col];
+    if (CAtCol == 0)
+      continue;
+    int64_t F = mulOv(CAtCol, A);
+    for (unsigned I = 0, E = width(); I != E; ++I)
+      R.Coef[I] = subOv(R.Coef[I], mulOv(F, Eq.Coef[I]));
+    assert(R.Coef[Col] == 0 && "substitution failed to zero the column");
+  }
+  removeCol(Col);
+}
+
+void Conjunct::removeCol(unsigned Col) {
+  assert(Col < numVars() && "cannot remove the constant column");
+  for (Row &R : Rows)
+    R.Coef.erase(R.Coef.begin() + Col);
+  if (Col < NumParams)
+    --NumParams;
+  else if (Col < NumParams + NumIn)
+    --NumIn;
+  else if (Col < NumParams + NumIn + NumOut)
+    --NumOut;
+  else
+    --NumExists;
+}
+
+Conjunct Conjunct::allVarsExistential() const {
+  Conjunct C(0, 0, 0, numVars());
+  C.Rows = Rows;
+  return C;
+}
+
+Conjunct Conjunct::remap(const Conjunct &Src, unsigned NP, unsigned NI,
+                         unsigned NO, unsigned NE,
+                         const std::vector<int> &ColMap) {
+  assert(ColMap.size() == Src.numVars() && "column map size mismatch");
+  Conjunct Dst(NP, NI, NO, NE);
+  unsigned DstW = Dst.width();
+  for (const Row &R : Src.Rows) {
+    Row NR;
+    NR.Coef.assign(DstW, 0);
+    NR.IsEq = R.IsEq;
+    for (unsigned C = 0, E = Src.numVars(); C != E; ++C) {
+      if (R.Coef[C] == 0)
+        continue;
+      assert(ColMap[C] >= 0 && "row uses a dropped column");
+      assert(static_cast<unsigned>(ColMap[C]) < DstW - 1);
+      NR.Coef[ColMap[C]] = addOv(NR.Coef[ColMap[C]], R.Coef[C]);
+    }
+    NR.Coef[DstW - 1] = R.constant();
+    Dst.Rows.push_back(std::move(NR));
+  }
+  return Dst;
+}
+
+void Conjunct::conjoin(const Conjunct &Other) {
+  assert(NumParams == Other.NumParams && NumIn == Other.NumIn &&
+         NumOut == Other.NumOut && "conjoin requires identical shapes");
+  unsigned MyE = NumExists;
+  // Grow our width to accommodate Other's existentials.
+  for (unsigned I = 0; I != Other.NumExists; ++I)
+    addExistVar();
+  unsigned Base = NumParams + NumIn + NumOut;
+  for (const Row &R : Other.Rows) {
+    Row NR;
+    NR.Coef.assign(width(), 0);
+    NR.IsEq = R.IsEq;
+    for (unsigned C = 0; C != Base; ++C)
+      NR.Coef[C] = R.Coef[C];
+    for (unsigned E = 0; E != Other.NumExists; ++E)
+      NR.Coef[Base + MyE + E] = R.Coef[Base + E];
+    NR.constant() = R.constant();
+    Rows.push_back(std::move(NR));
+  }
+}
+
+Conjunct Conjunct::bindAllDims(const std::vector<int64_t> &ParamVals,
+                               const std::vector<int64_t> &InVals,
+                               const std::vector<int64_t> &OutVals) const {
+  assert(ParamVals.size() == NumParams && InVals.size() == NumIn &&
+         OutVals.size() == NumOut && "binding size mismatch");
+  Conjunct C(0, 0, 0, NumExists);
+  unsigned Base = NumParams + NumIn + NumOut;
+  for (const Row &R : Rows) {
+    Row NR;
+    NR.Coef.assign(NumExists + 1, 0);
+    NR.IsEq = R.IsEq;
+    __int128 K = R.constant();
+    for (unsigned I = 0; I != NumParams; ++I)
+      K += static_cast<__int128>(R.Coef[I]) * ParamVals[I];
+    for (unsigned I = 0; I != NumIn; ++I)
+      K += static_cast<__int128>(R.Coef[NumParams + I]) * InVals[I];
+    for (unsigned I = 0; I != NumOut; ++I)
+      K += static_cast<__int128>(R.Coef[NumParams + NumIn + I]) * OutVals[I];
+    assert(K >= INT64_MIN && K <= INT64_MAX && "overflow binding dims");
+    for (unsigned E = 0; E != NumExists; ++E)
+      NR.Coef[E] = R.Coef[Base + E];
+    NR.constant() = static_cast<int64_t>(K);
+    C.Rows.push_back(std::move(NR));
+  }
+  return C;
+}
+
+std::string Conjunct::dump() const {
+  std::ostringstream OS;
+  OS << "conjunct(P=" << NumParams << ",I=" << NumIn << ",O=" << NumOut
+     << ",E=" << NumExists << ")\n";
+  for (const Row &R : Rows) {
+    OS << "  ";
+    for (int64_t C : R.Coef)
+      OS << C << ' ';
+    OS << (R.IsEq ? "= 0" : ">= 0") << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,170 @@
+//===- pset/Conjunct.h - Conjunction of affine constraints ---------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Conjunct is a conjunction of affine equality and inequality constraints
+/// over the columns [params | input dims | output dims | existentials | 1].
+/// A Relation (pset/Relation.h) is a union of Conjuncts; together they
+/// represent the (potentially non-convex) Presburger sets and mappings the
+/// paper's equational framework manipulates.
+///
+/// Existential variables express both projected-away dimensions (from
+/// compose/domain/range) and stride constraints such as
+/// `exists a : i = 2a + 1`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_PSET_CONJUNCT_H
+#define DHPF_PSET_CONJUNCT_H
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhpf {
+
+/// One affine constraint: sum(Coef[i] * v_i) + Coef.back() (= 0 | >= 0).
+struct Row {
+  std::vector<int64_t> Coef;
+  bool IsEq = false;
+
+  int64_t constant() const { return Coef.back(); }
+  int64_t &constant() { return Coef.back(); }
+};
+
+/// A conjunction of affine constraints over parameter, tuple, and
+/// existential variables. Column layout:
+///
+///   [0, P)            parameters
+///   [P, P+I)          input tuple dimensions
+///   [P+I, P+I+O)      output tuple dimensions
+///   [P+I+O, P+I+O+E)  existential variables (conjunct-local)
+///   P+I+O+E           the constant term
+class Conjunct {
+public:
+  Conjunct(unsigned NumParams, unsigned NumIn, unsigned NumOut,
+           unsigned NumExists = 0)
+      : NumParams(NumParams), NumIn(NumIn), NumOut(NumOut),
+        NumExists(NumExists) {}
+
+  unsigned numParams() const { return NumParams; }
+  unsigned numIn() const { return NumIn; }
+  unsigned numOut() const { return NumOut; }
+  unsigned numExists() const { return NumExists; }
+
+  /// Number of variable columns (excluding the constant column).
+  unsigned numVars() const { return NumParams + NumIn + NumOut + NumExists; }
+  /// Total row width including the constant column.
+  unsigned width() const { return numVars() + 1; }
+
+  unsigned paramCol(unsigned I) const {
+    assert(I < NumParams);
+    return I;
+  }
+  unsigned inCol(unsigned I) const {
+    assert(I < NumIn);
+    return NumParams + I;
+  }
+  unsigned outCol(unsigned I) const {
+    assert(I < NumOut);
+    return NumParams + NumIn + I;
+  }
+  unsigned existCol(unsigned I) const {
+    assert(I < NumExists);
+    return NumParams + NumIn + NumOut + I;
+  }
+  unsigned constCol() const { return numVars(); }
+
+  bool isParamCol(unsigned C) const { return C < NumParams; }
+  bool isExistCol(unsigned C) const {
+    return C >= NumParams + NumIn + NumOut && C < numVars();
+  }
+
+  const std::vector<Row> &rows() const { return Rows; }
+  std::vector<Row> &rows() { return Rows; }
+
+  /// Appends a constraint. \p Coef must have width() entries.
+  void addRow(std::vector<int64_t> Coef, bool IsEq) {
+    assert(Coef.size() == width() && "row width mismatch");
+    Rows.push_back({std::move(Coef), IsEq});
+  }
+
+  /// Appends a zero row and returns a mutable reference to it.
+  Row &addZeroRow(bool IsEq) {
+    Rows.push_back({std::vector<int64_t>(width(), 0), IsEq});
+    return Rows.back();
+  }
+
+  /// Convenience: adds constraint sum(Terms) + K (= 0 | >= 0) where Terms
+  /// are (column, coefficient) pairs.
+  void addConstraint(const std::vector<std::pair<unsigned, int64_t>> &Terms,
+                     int64_t K, bool IsEq) {
+    Row &R = addZeroRow(IsEq);
+    for (auto &[Col, C] : Terms) {
+      assert(Col < numVars());
+      R.Coef[Col] = addOv(R.Coef[Col], C);
+    }
+    R.constant() = K;
+  }
+
+  /// Appends a fresh existential variable column; returns its column index.
+  unsigned addExistVar();
+
+  /// Normalizes all rows (gcd reduction, duplicate/trivial removal).
+  /// Returns false if a constraint is unsatisfiable on its face (e.g. an
+  /// equality whose gcd does not divide its constant, or 0 >= 1).
+  bool normalize();
+
+  /// True if this conjunct has no constraints (the universe).
+  bool isUniverse() const { return Rows.empty(); }
+
+  /// Substitutes variable \p Col away using equality row \p EqIdx, which
+  /// must have coefficient +/-1 at \p Col. Removes the equality and the
+  /// column. Counts are adjusted according to the column's region.
+  void substituteUsingEq(unsigned EqIdx, unsigned Col);
+
+  /// Removes column \p Col from every row (the caller must ensure no row
+  /// uses it, or that dropping it is semantically intended). Adjusts counts.
+  void removeCol(unsigned Col);
+
+  /// Returns a copy of this conjunct where every variable column has been
+  /// moved into the existential region (used for pure satisfiability tests
+  /// where parameters are treated as existentially quantified).
+  Conjunct allVarsExistential() const;
+
+  /// Builds a conjunct with new region sizes, copying each source column
+  /// \p C of \p Src to \p ColMap[C] (or dropping it if ColMap[C] < 0).
+  /// The constant column is copied implicitly. Rows referencing a dropped
+  /// column are asserted not to exist unless \p AllowDropUsed.
+  static Conjunct remap(const Conjunct &Src, unsigned NP, unsigned NI,
+                        unsigned NO, unsigned NE,
+                        const std::vector<int> &ColMap);
+
+  /// Conjoins \p Other (same P/I/O shape) into this conjunct, renumbering
+  /// Other's existentials past this conjunct's.
+  void conjoin(const Conjunct &Other);
+
+  /// Evaluates all rows after fixing every param/in/out column to the given
+  /// values (sizes must match); returns a conjunct over the existentials
+  /// only. Used by the membership oracle.
+  Conjunct bindAllDims(const std::vector<int64_t> &ParamVals,
+                       const std::vector<int64_t> &InVals,
+                       const std::vector<int64_t> &OutVals) const;
+
+  /// Renders the conjunct for debugging (raw column form).
+  std::string dump() const;
+
+private:
+  unsigned NumParams, NumIn, NumOut, NumExists;
+  std::vector<Row> Rows;
+};
+
+} // namespace dhpf
+
+#endif // DHPF_PSET_CONJUNCT_H

@@ -1,0 +1,60 @@
+//===- pset/OmegaTest.h - Exact integer projection and satisfiability ----===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine underneath the set framework: Pugh's Omega test. Provides
+/// exact elimination of an existential variable from a conjunct (returning
+/// a union of conjuncts: real shadow when Fourier-Motzkin is exact,
+/// otherwise dark shadow plus splinters), integer satisfiability, and
+/// redundant-constraint removal. See W. Pugh, "A practical algorithm for
+/// exact array dependence analysis", CACM 35(8), 1992.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_PSET_OMEGATEST_H
+#define DHPF_PSET_OMEGATEST_H
+
+#include "pset/Conjunct.h"
+
+#include <vector>
+
+namespace dhpf {
+namespace omega {
+
+/// Exactly eliminates existential variable \p ExistIdx (an index into the
+/// existential region, not a raw column) from \p C. The result is a union of
+/// conjuncts equal to { (params, in, out) : exists e . C }. Each result
+/// conjunct may contain fresh existentials introduced by equality reduction.
+std::vector<Conjunct> eliminateExist(Conjunct C, unsigned ExistIdx);
+
+/// Normalizes the existential variables of \p C exactly, yielding a union
+/// of conjuncts in which every remaining existential is a *lonely
+/// divisibility witness*: it occurs in exactly one constraint, an equality
+/// of the form  expr + a*e = 0  (i.e. expr ≡ 0 mod |a|), and nowhere else.
+/// Existentials that admit an existential-free form are eliminated
+/// (substitution or exact Fourier-Motzkin); witnesses that do not (sets
+/// such as "i even" have no existential-free Presburger form) are kept.
+/// Negation (subtraction) treats the witnessed equalities as modular
+/// constraints.
+std::vector<Conjunct> normalizeExists(const Conjunct &C);
+
+/// Integer satisfiability of \p C, treating parameters as existentially
+/// quantified ("is there any parameter assignment and point in the set?").
+bool isSatisfiable(const Conjunct &C);
+
+/// Removes inequality rows implied by the remaining rows (checked with the
+/// Omega test). Quadratic in the number of rows; intended for the explicit
+/// simplify() entry points the compiler calls between analysis phases.
+void removeRedundantRows(Conjunct &C);
+
+/// True if adding constraint row \p R (over C's columns) to \p C leaves it
+/// unsatisfiable; used for redundancy and implication tests.
+bool impliesRow(const Conjunct &C, const Row &R);
+
+} // namespace omega
+} // namespace dhpf
+
+#endif // DHPF_PSET_OMEGATEST_H

@@ -1,0 +1,466 @@
+//===- pset/Parser.cpp - Textual syntax for sets and relations -----------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses an isl-flavoured textual syntax for integer sets and relations:
+///
+///   relation := [ '[' params ']' '->' ] '{' tuple [ '->' tuple ]
+///               [ ':' disj ] '}'
+///   tuple    := '[' [ ident (',' ident)* ] ']'
+///   disj     := conj ( ('or' | '||') conj )*
+///   conj     := 'true' | 'false' | item ( ('and' | '&&') item )*
+///   item     := 'exists' '(' ids ':' conj ')' | chain
+///   chain    := expr ( ('<=' | '<' | '>=' | '>' | '=' | '==') expr )+
+///   expr     := ['-'] term ( ('+' | '-') term )*
+///   term     := number [ '*' ] [ factor ] | factor [ '*' number ]
+///   factor   := ident | '(' expr ')'
+///
+/// Undeclared identifiers are registered as symbolic parameters in order of
+/// first use, so "{ [i] : 1 <= i <= N }" works without a prefix. Malformed
+/// input asserts (the parser serves tests and internal construction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "pset/Relation.h"
+
+#include "support/MathExtras.h"
+
+#include <cctype>
+#include <map>
+
+using namespace dhpf;
+
+namespace {
+
+/// A linear expression over named variables, used during parsing.
+struct SymExpr {
+  std::map<std::string, int64_t> Coef;
+  int64_t K = 0;
+
+  void addVar(const std::string &N, int64_t C) {
+    Coef[N] = addOv(Coef[N], C);
+    if (Coef[N] == 0)
+      Coef.erase(N);
+  }
+  void addExpr(const SymExpr &O, int64_t Scale) {
+    for (auto &[N, C] : O.Coef)
+      addVar(N, mulOv(C, Scale));
+    K = addOv(K, mulOv(O.K, Scale));
+  }
+};
+
+/// One parsed constraint: Expr (= | >=) 0.
+struct SymRow {
+  SymExpr E;
+  bool IsEq;
+};
+
+/// One parsed disjunct.
+struct SymConj {
+  std::vector<SymRow> Rows;
+  std::vector<std::string> Exists; // names bound in this conjunct
+  bool IsFalse = false;
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  Relation parse() {
+    skipWs();
+    if (peek() == '[') {
+      DeclaredParams = parseIdentList();
+      expect("->");
+    }
+    expect("{");
+    std::vector<std::string> T1 = parseIdentList();
+    std::vector<std::string> T2;
+    bool IsMap = false;
+    skipWs();
+    if (lookahead("->")) {
+      expect("->");
+      T2 = parseIdentList();
+      IsMap = true;
+    }
+    InNames = IsMap ? T1 : std::vector<std::string>{};
+    OutNames = IsMap ? T2 : T1;
+    skipWs();
+    std::vector<SymConj> Disjuncts;
+    if (peek() == ':') {
+      get();
+      for (;;) {
+        Disjuncts.push_back(parseConj());
+        skipWs();
+        if ((lookahead("or") && !isalnumAt(Pos + 2)) || lookahead("||")) {
+          eatWord();
+          continue;
+        }
+        break;
+      }
+    } else {
+      Disjuncts.push_back(SymConj{}); // universe
+    }
+    expect("}");
+    return build(Disjuncts);
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+  std::vector<std::string> DeclaredParams;
+  std::vector<std::string> InNames, OutNames;
+  std::vector<std::string> AutoParams; // undeclared identifiers, first use
+  const SymConj *CurConj = nullptr;    // for exist-name scoping
+
+  //===---------------------------- lexing -------------------------------===//
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  char peek() {
+    skipWs();
+    return Pos < S.size() ? S[Pos] : '\0';
+  }
+  char get() {
+    skipWs();
+    assert(Pos < S.size() && "unexpected end of input");
+    return S[Pos++];
+  }
+  bool lookahead(const std::string &Tok) {
+    skipWs();
+    return S.compare(Pos, Tok.size(), Tok) == 0;
+  }
+  void expect(const std::string &Tok) {
+    skipWs();
+    assert(S.compare(Pos, Tok.size(), Tok) == 0 && "parse error");
+    Pos += Tok.size();
+  }
+  /// Consumes the next word or operator token ("or", "&&", ...).
+  void eatWord() {
+    skipWs();
+    if (!std::isalpha(static_cast<unsigned char>(S[Pos]))) {
+      Pos += 2; // "||" or "&&"
+      return;
+    }
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_'))
+      ++Pos;
+  }
+  bool atIdent() {
+    skipWs();
+    return Pos < S.size() &&
+           (std::isalpha(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_');
+  }
+  std::string parseIdent() {
+    skipWs();
+    assert(atIdent() && "expected identifier");
+    size_t B = Pos;
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_' ||
+            S[Pos] == '\''))
+      ++Pos;
+    return S.substr(B, Pos - B);
+  }
+  /// True if the next token is a keyword (which terminates expressions).
+  bool atKeyword() {
+    if (!atIdent())
+      return false;
+    size_t P = Pos, B = Pos;
+    while (P < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[P])) || S[P] == '_'))
+      ++P;
+    std::string W = S.substr(B, P - B);
+    return W == "or" || W == "and" || W == "exists" || W == "true" ||
+           W == "false";
+  }
+  bool atNumber() {
+    skipWs();
+    return Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos]));
+  }
+  int64_t parseNumber() {
+    skipWs();
+    assert(atNumber() && "expected number");
+    int64_t V = 0;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      V = addOv(mulOv(V, 10), S[Pos++] - '0');
+    return V;
+  }
+  std::vector<std::string> parseIdentList() {
+    expect("[");
+    std::vector<std::string> Ids;
+    if (peek() != ']') {
+      Ids.push_back(parseIdent());
+      while (peek() == ',') {
+        get();
+        Ids.push_back(parseIdent());
+      }
+    }
+    expect("]");
+    return Ids;
+  }
+
+  //===---------------------------- grammar ------------------------------===//
+
+  SymConj parseConj() {
+    SymConj C;
+    for (;;) {
+      skipWs();
+      if (lookahead("true") && !isalnumAt(Pos + 4)) {
+        eatWord();
+      } else if (lookahead("false") && !isalnumAt(Pos + 5)) {
+        eatWord();
+        C.IsFalse = true;
+      } else if (lookahead("exists") && !isalnumAt(Pos + 6)) {
+        eatWord();
+        expect("(");
+        // exists(a,b : ...)
+        C.Exists.push_back(parseIdent());
+        while (peek() == ',') {
+          get();
+          C.Exists.push_back(parseIdent());
+        }
+        expect(":");
+        parseChainList(C, /*UntilParen=*/true);
+        expect(")");
+      } else {
+        parseChain(C);
+      }
+      skipWs();
+      if (lookahead("&&") || (lookahead("and") && !isalnumAt(Pos + 3))) {
+        eatWord();
+        continue;
+      }
+      break;
+    }
+    return C;
+  }
+
+  bool isalnumAt(size_t P) {
+    return P < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[P])) || S[P] == '_');
+  }
+
+  /// Parses "c1 && c2 && ..." into \p C, stopping at ')' if \p UntilParen.
+  void parseChainList(SymConj &C, bool UntilParen) {
+    for (;;) {
+      parseChain(C);
+      skipWs();
+      if (lookahead("&&") || (lookahead("and") && !isalnumAt(Pos + 3))) {
+        eatWord();
+        continue;
+      }
+      break;
+    }
+    (void)UntilParen;
+  }
+
+  void parseChain(SymConj &C) {
+    SymExpr L = parseExpr();
+    bool AnyOp = false;
+    for (;;) {
+      skipWs();
+      int Op; // 0: <=, 1: <, 2: >=, 3: >, 4: =
+      if (lookahead("<=")) {
+        Op = 0;
+        Pos += 2;
+      } else if (lookahead(">=")) {
+        Op = 2;
+        Pos += 2;
+      } else if (lookahead("==")) {
+        Op = 4;
+        Pos += 2;
+      } else if (lookahead("<")) {
+        Op = 1;
+        Pos += 1;
+      } else if (lookahead(">")) {
+        Op = 3;
+        Pos += 1;
+      } else if (lookahead("=")) {
+        Op = 4;
+        Pos += 1;
+      } else {
+        break;
+      }
+      AnyOp = true;
+      SymExpr R = parseExpr();
+      SymRow Row;
+      Row.IsEq = (Op == 4);
+      // a <= b  ->  b - a >= 0 ; a < b -> b - a - 1 >= 0 ; etc.
+      switch (Op) {
+      case 0:
+        Row.E.addExpr(R, 1);
+        Row.E.addExpr(L, -1);
+        break;
+      case 1:
+        Row.E.addExpr(R, 1);
+        Row.E.addExpr(L, -1);
+        Row.E.K = subOv(Row.E.K, 1);
+        break;
+      case 2:
+        Row.E.addExpr(L, 1);
+        Row.E.addExpr(R, -1);
+        break;
+      case 3:
+        Row.E.addExpr(L, 1);
+        Row.E.addExpr(R, -1);
+        Row.E.K = subOv(Row.E.K, 1);
+        break;
+      case 4:
+        Row.E.addExpr(L, 1);
+        Row.E.addExpr(R, -1);
+        break;
+      }
+      C.Rows.push_back(std::move(Row));
+      L = std::move(R);
+    }
+    assert(AnyOp && "constraint without a comparison operator");
+  }
+
+  SymExpr parseExpr() {
+    SymExpr E;
+    int64_t Sign = 1;
+    skipWs();
+    if (peek() == '-') {
+      get();
+      Sign = -1;
+    }
+    parseTermInto(E, Sign);
+    for (;;) {
+      skipWs();
+      char Ch = peek();
+      if (Ch != '+' && Ch != '-')
+        break;
+      get();
+      parseTermInto(E, Ch == '+' ? 1 : -1);
+    }
+    return E;
+  }
+
+  void parseTermInto(SymExpr &E, int64_t Sign) {
+    skipWs();
+    if (atNumber()) {
+      int64_t V = mulOv(parseNumber(), Sign);
+      skipWs();
+      if (peek() == '*') {
+        get();
+        SymExpr F = parseFactor();
+        E.addExpr(F, V);
+        return;
+      }
+      if ((atIdent() && !atKeyword()) || peek() == '(') { // "2i" or "2(i+j)"
+        SymExpr F = parseFactor();
+        E.addExpr(F, V);
+        return;
+      }
+      E.K = addOv(E.K, V);
+      return;
+    }
+    SymExpr F = parseFactor();
+    E.addExpr(F, Sign);
+  }
+
+  SymExpr parseFactor() {
+    skipWs();
+    SymExpr E;
+    if (peek() == '(') {
+      get();
+      E = parseExpr();
+      expect(")");
+      return E;
+    }
+    E.addVar(parseIdent(), 1);
+    return E;
+  }
+
+  //===---------------------------- building -----------------------------===//
+
+  /// Resolves a name to a column kind: 0 in, 1 out, 2 exist, 3 param.
+  int resolveKind(const std::string &N, const SymConj &C, unsigned &Idx) {
+    for (unsigned I = 0; I != InNames.size(); ++I)
+      if (InNames[I] == N) {
+        Idx = I;
+        return 0;
+      }
+    for (unsigned I = 0; I != OutNames.size(); ++I)
+      if (OutNames[I] == N) {
+        Idx = I;
+        return 1;
+      }
+    for (unsigned I = 0; I != C.Exists.size(); ++I)
+      if (C.Exists[I] == N) {
+        Idx = I;
+        return 2;
+      }
+    for (unsigned I = 0; I != DeclaredParams.size(); ++I)
+      if (DeclaredParams[I] == N) {
+        Idx = I;
+        return 3;
+      }
+    for (unsigned I = 0; I != AutoParams.size(); ++I)
+      if (AutoParams[I] == N) {
+        Idx = DeclaredParams.size() + I;
+        return 3;
+      }
+    AutoParams.push_back(N);
+    Idx = DeclaredParams.size() + AutoParams.size() - 1;
+    return 3;
+  }
+
+  Relation build(const std::vector<SymConj> &Disjuncts) {
+    // Register all names first so the parameter list is complete.
+    for (const SymConj &C : Disjuncts)
+      for (const SymRow &R : C.Rows)
+        for (auto &[N, Coef] : R.E.Coef) {
+          unsigned Idx;
+          (void)resolveKind(N, C, Idx);
+          (void)Coef;
+        }
+    std::vector<std::string> Params = DeclaredParams;
+    Params.insert(Params.end(), AutoParams.begin(), AutoParams.end());
+    Space Sp = InNames.empty() ? Space::set(OutNames, Params)
+                               : Space::map(InNames, OutNames, Params);
+    Relation Rel(Sp);
+    for (const SymConj &C : Disjuncts) {
+      if (C.IsFalse)
+        continue;
+      Conjunct Conj(Params.size(), InNames.size(), OutNames.size(),
+                    C.Exists.size());
+      for (const SymRow &R : C.Rows) {
+        Row Rw;
+        Rw.IsEq = R.IsEq;
+        Rw.Coef.assign(Conj.width(), 0);
+        for (auto &[N, Coef] : R.E.Coef) {
+          unsigned Idx;
+          switch (resolveKind(N, C, Idx)) {
+          case 0:
+            Rw.Coef[Conj.inCol(Idx)] = Coef;
+            break;
+          case 1:
+            Rw.Coef[Conj.outCol(Idx)] = Coef;
+            break;
+          case 2:
+            Rw.Coef[Conj.existCol(Idx)] = Coef;
+            break;
+          default:
+            Rw.Coef[Conj.paramCol(Idx)] = Coef;
+            break;
+          }
+        }
+        Rw.constant() = R.E.K;
+        Conj.rows().push_back(std::move(Rw));
+      }
+      Rel.addConjunct(std::move(Conj));
+    }
+    return Rel;
+  }
+};
+
+} // namespace
+
+Relation dhpf::parseRelation(const std::string &Text) {
+  return Parser(Text).parse();
+}

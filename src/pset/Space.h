@@ -1,0 +1,105 @@
+//===- pset/Space.h - Tuple spaces for integer sets and relations --------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Space describes the variables of an integer relation: named symbolic
+/// parameters (global constants such as N or the processor count), input
+/// tuple dimensions, and output tuple dimensions. Following the paper's
+/// framework (Section 2), a *set* of integer k-tuples is represented as a
+/// relation with zero input dimensions whose tuple variables are the output
+/// dimensions; a *mapping* has both input and output dimensions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_PSET_SPACE_H
+#define DHPF_PSET_SPACE_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace dhpf {
+
+/// Describes the parameter and tuple dimensions of a relation.
+///
+/// Parameters are identified by name and shared across operations;
+/// operations on two relations first align their parameter lists by name.
+/// Tuple dimensions carry optional names used only for printing.
+class Space {
+public:
+  Space() = default;
+
+  /// Creates the space of a set with tuple dimensions \p Dims and symbolic
+  /// parameters \p Params. Set dimensions are stored as output dimensions.
+  static Space set(std::vector<std::string> Dims,
+                   std::vector<std::string> Params = {}) {
+    Space S;
+    S.OutNames = std::move(Dims);
+    S.Params = std::move(Params);
+    return S;
+  }
+
+  /// Creates the space of a mapping from \p In tuples to \p Out tuples.
+  static Space map(std::vector<std::string> In, std::vector<std::string> Out,
+                   std::vector<std::string> Params = {}) {
+    Space S;
+    S.InNames = std::move(In);
+    S.OutNames = std::move(Out);
+    S.Params = std::move(Params);
+    return S;
+  }
+
+  unsigned numParams() const { return Params.size(); }
+  unsigned numIn() const { return InNames.size(); }
+  unsigned numOut() const { return OutNames.size(); }
+
+  /// True if this is a set space (no input dimensions).
+  bool isSet() const { return InNames.empty(); }
+
+  const std::vector<std::string> &params() const { return Params; }
+  const std::vector<std::string> &inNames() const { return InNames; }
+  const std::vector<std::string> &outNames() const { return OutNames; }
+
+  const std::string &paramName(unsigned I) const {
+    assert(I < Params.size());
+    return Params[I];
+  }
+
+  /// Returns the index of parameter \p Name, or -1 if absent.
+  int paramIndex(const std::string &Name) const {
+    for (unsigned I = 0, E = Params.size(); I != E; ++I)
+      if (Params[I] == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Appends a parameter (must not already exist). Returns its index.
+  unsigned addParam(const std::string &Name) {
+    assert(paramIndex(Name) < 0 && "duplicate parameter");
+    Params.push_back(Name);
+    return Params.size() - 1;
+  }
+
+  /// True if dimension counts match (parameter lists may differ; they are
+  /// aligned by name before operations).
+  bool sameDims(const Space &O) const {
+    return numIn() == O.numIn() && numOut() == O.numOut();
+  }
+
+  bool operator==(const Space &O) const {
+    return Params == O.Params && InNames.size() == O.InNames.size() &&
+           OutNames.size() == O.OutNames.size();
+  }
+
+private:
+  std::vector<std::string> Params;
+  std::vector<std::string> InNames;
+  std::vector<std::string> OutNames;
+};
+
+} // namespace dhpf
+
+#endif // DHPF_PSET_SPACE_H

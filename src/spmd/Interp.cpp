@@ -1,0 +1,548 @@
+//===- spmd/Interp.cpp - SPMD node-program interpreter -------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spmd/Interp.h"
+
+#include "support/MathExtras.h"
+
+#include <limits>
+#include <set>
+
+using namespace dhpf;
+using namespace dhpf::spmd;
+using namespace dhpf::hpf;
+
+//===----------------------------------------------------------------------===//
+// ArrayStore
+//===----------------------------------------------------------------------===//
+
+ArrayStore::ArrayStore(std::vector<int64_t> LoV, std::vector<int64_t> ExtentV,
+                       unsigned ElemBytesV)
+    : Lo(std::move(LoV)), Extent(std::move(ExtentV)), ElemBytes(ElemBytesV) {
+  int64_t N = 1;
+  for (int64_t E : Extent) {
+    assert(E >= 0 && "negative array extent");
+    N = mulOv(N, E);
+  }
+  Values.assign(N, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Setup
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t evalAffine(const AffineExpr &E,
+                   const std::map<std::string, int64_t> &Bind) {
+  int64_t V = E.K;
+  for (auto &[Name, Coef] : E.Terms) {
+    auto It = Bind.find(Name);
+    assert(It != Bind.end() && "unbound parameter in affine expression");
+    V = addOv(V, mulOv(Coef, It->second));
+  }
+  return V;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const SpmdProgram &ProgIn, RunConfig ConfigIn)
+    : Prog(ProgIn), Config(std::move(ConfigIn)),
+      Mach(1, Config.Machine) /* resized below */ {
+  assert(Prog.Source && "compiled program lost its source");
+  // Processor shape.
+  if (!Prog.ProcName.empty()) {
+    const ProcArray &PA = Prog.Source->procArray(Prog.ProcName);
+    auto It = Config.ProcExtents.find(Prog.ProcName);
+    for (unsigned D = 0; D != PA.rank(); ++D) {
+      if (PA.Dims[D].isSymbolic()) {
+        assert(It != Config.ProcExtents.end() &&
+               "symbolic processor array needs extents at run time");
+        ProcShape.push_back(It->second[D]);
+      } else {
+        ProcShape.push_back(PA.Dims[D].Fixed);
+        if (It != Config.ProcExtents.end())
+          assert(It->second[D] == PA.Dims[D].Fixed &&
+                 "fixed extent overridden inconsistently");
+      }
+    }
+  }
+  NumProcs = 1;
+  for (int64_t E : ProcShape)
+    NumProcs *= E;
+  Mach = sim::Machine(NumProcs, Config.Machine);
+  AllBindings = MapBuilder(*Prog.Source)
+                    .layoutBindings(Config.Params, Config.ProcExtents);
+  setupArrays();
+  setupEnvs();
+  Overlay.resize(NumProcs);
+  Pending.resize(NumProcs);
+  Accums.resize(NumProcs);
+}
+
+void Interpreter::setSemantics(int Id, StmtFn Fn) {
+  Semantics[Id] = std::move(Fn);
+}
+
+void Interpreter::initArray(
+    const std::string &Name,
+    const std::function<double(const std::vector<int64_t> &)> &Init) {
+  ArrayStore &A = Arrays.at(Name);
+  std::vector<int64_t> Idx(A.rank());
+  for (unsigned D = 0; D != A.rank(); ++D)
+    Idx[D] = A.lo(D);
+  if (A.size() == 0)
+    return;
+  for (;;) {
+    A.at(A.flatten(Idx)) = Init(Idx);
+    unsigned D = 0;
+    while (D < A.rank() && ++Idx[D] >= A.lo(D) + A.extent(D)) {
+      Idx[D] = A.lo(D);
+      ++D;
+    }
+    if (D == A.rank())
+      break;
+  }
+}
+
+void Interpreter::setupArrays() {
+  const Program &P = *Prog.Source;
+  const std::map<std::string, int64_t> &All = AllBindings;
+
+  for (const auto &[Name, Decl] : P.arrays()) {
+    std::vector<int64_t> Lo, Extent;
+    for (const DimRange &R : Decl.Dims) {
+      int64_t L = evalAffine(R.Lo, All), H = evalAffine(R.Hi, All);
+      Lo.push_back(L);
+      Extent.push_back(H - L + 1);
+    }
+    ArrayStore Store(Lo, Extent, Decl.ElemBytes);
+
+    // Ownership, computed independently of the set framework (direct
+    // block/cyclic formulas) so it cross-checks the compiled sets.
+    const Align *Al = P.alignOf(Name);
+    if (Al) {
+      const TemplateDecl &T = P.templateDecl(Al->TemplateName);
+      const Distribute &D = P.distributeOf(Al->TemplateName);
+      auto ExtIt = Config.ProcExtents.find(D.ProcName);
+      const ProcArray &PA = P.procArray(D.ProcName);
+      std::vector<int64_t> PExt;
+      for (unsigned I = 0; I != PA.rank(); ++I)
+        PExt.push_back(PA.Dims[I].isSymbolic() ? ExtIt->second[I]
+                                               : PA.Dims[I].Fixed);
+      Store.Owner.assign(Store.size(), -1);
+      std::vector<int64_t> Idx(Decl.rank());
+      for (unsigned DD = 0; DD != Decl.rank(); ++DD)
+        Idx[DD] = Lo[DD];
+      for (;;) {
+        // Owner coordinates along each distributed template dimension.
+        int64_t Rank = 0, Mult = 1;
+        unsigned PDim = 0;
+        bool Known = true;
+        for (unsigned TD = 0; TD != T.rank(); ++TD) {
+          const DistSpec &Spec = D.Specs[TD];
+          if (Spec.K == DistSpec::Kind::Star)
+            continue;
+          const AlignTerm &AT = Al->Terms[TD];
+          assert(AT.K != AlignTerm::Kind::Replicated &&
+                 "replicated alignment on a distributed dimension");
+          int64_t Tpos = AT.K == AlignTerm::Kind::Constant
+                             ? AT.Constant
+                             : AT.Stride * Idx[AT.ArrayDim] + AT.Offset;
+          int64_t TLo = evalAffine(T.Dims[TD].Lo, All);
+          int64_t THi = evalAffine(T.Dims[TD].Hi, All);
+          int64_t PN = PExt[PDim];
+          int64_t Coord = 0;
+          switch (Spec.K) {
+          case DistSpec::Kind::Block: {
+            int64_t B = ceilDiv(THi - TLo + 1, PN);
+            Coord = (Tpos - TLo) / B;
+            break;
+          }
+          case DistSpec::Kind::Cyclic:
+            Coord = floorMod(Tpos - TLo, PN);
+            break;
+          case DistSpec::Kind::CyclicK:
+            Coord = floorMod((Tpos - TLo) / Spec.BlockK, PN);
+            break;
+          case DistSpec::Kind::Star:
+            break;
+          }
+          Rank += Coord * Mult;
+          Mult *= PN;
+          ++PDim;
+        }
+        if (Known)
+          Store.Owner[Store.flatten(Idx)] = static_cast<int32_t>(Rank);
+        unsigned DD = 0;
+        while (DD < Decl.rank() && ++Idx[DD] >= Lo[DD] + Extent[DD]) {
+          Idx[DD] = Lo[DD];
+          ++DD;
+        }
+        if (DD == Decl.rank())
+          break;
+      }
+    }
+    Arrays.emplace(Name, std::move(Store));
+  }
+}
+
+unsigned Interpreter::rankOf(const std::vector<int64_t> &Coords) const {
+  int64_t R = 0, M = 1;
+  for (unsigned D = 0; D != Coords.size(); ++D) {
+    assert(Coords[D] >= 0 && Coords[D] < ProcShape[D]);
+    R += Coords[D] * M;
+    M *= ProcShape[D];
+  }
+  return static_cast<unsigned>(R);
+}
+
+unsigned Interpreter::partnerRank(const std::vector<int64_t> &Partner) const {
+  std::vector<int64_t> Coords(Partner.size());
+  const std::map<std::string, int64_t> &All = AllBindings;
+  for (unsigned D = 0; D != Partner.size(); ++D) {
+    const VPDimInfo &Info = Prog.ProcDims[D];
+    if (!Info.Virtualized) {
+      Coords[D] = Partner[D];
+      continue;
+    }
+    switch (Info.Kind) {
+    case DistSpec::Kind::Block: {
+      int64_t B = All.at(Info.BlockParam);
+      Coords[D] = (Partner[D] - Info.TmplLo) / B;
+      break;
+    }
+    case DistSpec::Kind::Cyclic:
+      Coords[D] = floorMod(Partner[D] - Info.TmplLo, ProcShape[D]);
+      break;
+    case DistSpec::Kind::CyclicK:
+      Coords[D] =
+          floorMod((Partner[D] - Info.TmplLo) / Info.CyclicK, ProcShape[D]);
+      break;
+    case DistSpec::Kind::Star:
+      break;
+    }
+  }
+  return rankOf(Coords);
+}
+
+bool Interpreter::isRealVP(const std::vector<int64_t> &Partner) const {
+  for (unsigned D = 0; D != Partner.size(); ++D) {
+    const VPDimInfo &Info = Prog.ProcDims[D];
+    if (!Info.Virtualized)
+      continue;
+    int64_t Off = Partner[D] - Info.TmplLo;
+    switch (Info.Kind) {
+    case DistSpec::Kind::Block: {
+      int64_t B = AllBindings.at(Info.BlockParam);
+      if (floorMod(Off, B) != 0 || Off / B >= ProcShape[D])
+        return false; // fictitious: not a block start, or past the array
+      break;
+    }
+    case DistSpec::Kind::Cyclic:
+      break; // every template cell is a real VP
+    case DistSpec::Kind::CyclicK:
+      if (floorMod(Off, Info.CyclicK) != 0)
+        return false; // not a block start
+      break;
+    case DistSpec::Kind::Star:
+      break;
+    }
+  }
+  return true;
+}
+
+void Interpreter::setupEnvs() {
+  const std::map<std::string, int64_t> &All = AllBindings;
+  Env.assign(NumProcs, std::vector<int64_t>(Prog.Vars.size(), 0));
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    // Parameters by name.
+    for (unsigned S = 0; S != Prog.Vars.size(); ++S) {
+      auto It = All.find(Prog.Vars.name(S));
+      if (It != All.end())
+        Env[P][S] = It->second;
+    }
+    // Representative-processor slots (mv*).
+    std::vector<int64_t> Coords(ProcShape.size());
+    unsigned R = P;
+    for (unsigned D = 0; D != ProcShape.size(); ++D) {
+      Coords[D] = R % ProcShape[D];
+      R /= ProcShape[D];
+    }
+    for (unsigned D = 0; D != Prog.MySlots.size(); ++D) {
+      const VPDimInfo &Info = Prog.ProcDims[D];
+      int64_t V = Coords[D];
+      if (Info.Virtualized) {
+        switch (Info.Kind) {
+        case DistSpec::Kind::Block:
+          V = All.at(Info.BlockParam) * Coords[D] + Info.TmplLo;
+          break;
+        case DistSpec::Kind::Cyclic:
+          V = Info.TmplLo + Coords[D]; // initial VP; VP loops re-bind
+          break;
+        case DistSpec::Kind::CyclicK:
+          V = Info.TmplLo + Info.CyclicK * Coords[D];
+          break;
+        case DistSpec::Kind::Star:
+          break;
+        }
+      }
+      Env[P][Prog.MySlots[D]] = V;
+    }
+    for (unsigned D = 0; D != Prog.CoordSlots.size(); ++D)
+      Env[P][Prog.CoordSlots[D]] = Coords[D];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+void Interpreter::violation(const std::string &Msg) {
+  Result.Valid = false;
+  if (Result.Violations.size() < 20)
+    Result.Violations.push_back(Msg);
+}
+
+double Interpreter::readElem(unsigned P, const std::string &Array,
+                             int64_t Flat) {
+  ArrayStore &A = Arrays.at(Array);
+  if (A.Owner.empty() || A.Owner[Flat] == static_cast<int32_t>(P) ||
+      A.Owner[Flat] < 0)
+    return A.at(Flat);
+  auto &Ov = Overlay[P][Array];
+  auto It = Ov.find(Flat);
+  if (It != Ov.end())
+    return It->second;
+  auto &Pd = Pending[P][Array];
+  auto It2 = Pd.find(Flat);
+  if (It2 != Pd.end())
+    return It2->second;
+  if (Config.CheckValidity)
+    violation("proc " + std::to_string(P) + " read unreceived element " +
+              std::to_string(Flat) + " of " + Array);
+  return A.at(Flat);
+}
+
+void Interpreter::writeElem(unsigned P, const std::string &Array,
+                            int64_t Flat, double V) {
+  ArrayStore &A = Arrays.at(Array);
+  if (A.Owner.empty() || A.Owner[Flat] == static_cast<int32_t>(P) ||
+      A.Owner[Flat] < 0) {
+    A.at(Flat) = V;
+    return;
+  }
+  Pending[P][Array][Flat] = V;
+}
+
+void Interpreter::execCompute(const SpmdNode &N) {
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    std::vector<int64_t> WIdx;
+    std::vector<double> Reads;
+    cg::execute(*N.Loops, Env[P],
+                [&](int Leaf, const std::vector<int64_t> &E) {
+                  const CompiledStmt &S = Prog.Stmts[Leaf];
+                  Reads.clear();
+                  for (const CompiledStmt::Read &Rd : S.Reads) {
+                    std::vector<int64_t> Idx;
+                    for (const cg::Expr &Sub : Rd.Subs)
+                      Idx.push_back(Sub.eval(E));
+                    Reads.push_back(
+                        readElem(P, Rd.Array, Arrays.at(Rd.Array).flatten(Idx)));
+                  }
+                  auto SemIt = Semantics.find(S.SemanticsId);
+                  assert(SemIt != Semantics.end() &&
+                         "statement without semantics");
+                  double V = SemIt->second(Reads, E, Accums[P]);
+                  WIdx.clear();
+                  for (const cg::Expr &Sub : S.WriteSubs)
+                    WIdx.push_back(Sub.eval(E));
+                  writeElem(P, S.WriteArray,
+                            Arrays.at(S.WriteArray).flatten(WIdx), V);
+                  Mach.addCompute(P, S.Cost);
+                  ++Result.StmtInstances;
+                });
+  }
+}
+
+void Interpreter::execSend(const SpmdNode &N) {
+  const CommEvent &Ev = Prog.Events[N.EventId];
+  ArrayStore &A = Arrays.at(Ev.Array);
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    // Ordered per-partner element lists (deduplicated: union conjuncts in
+    // the comm sets may overlap).
+    std::vector<unsigned> PartnerOrder;
+    std::map<unsigned, std::vector<std::pair<int64_t, double>>> Msgs;
+    std::map<unsigned, std::set<int64_t>> Seen;
+    cg::execute(*Ev.SendLoops, Env[P],
+                [&](int, const std::vector<int64_t> &E) {
+                  std::vector<int64_t> PT, Idx;
+                  for (unsigned S : Ev.PartnerSlots)
+                    PT.push_back(E[S]);
+                  for (unsigned S : Ev.ElemSlots)
+                    Idx.push_back(E[S]);
+                  if (!isRealVP(PT))
+                    return; // fictitious virtual processor
+                  unsigned Q = partnerRank(PT);
+                  if (Q == P)
+                    return; // VP neighbours on the same physical processor
+                  int64_t Flat = A.flatten(Idx);
+                  if (!Seen[Q].insert(Flat).second)
+                    return;
+                  if (Msgs.find(Q) == Msgs.end())
+                    PartnerOrder.push_back(Q);
+                  double V;
+                  if (A.Owner.empty() ||
+                      A.Owner[Flat] == static_cast<int32_t>(P) ||
+                      A.Owner[Flat] < 0) {
+                    V = A.at(Flat); // forwarding data I own (read comm)
+                  } else {
+                    auto &Pd = Pending[P][Ev.Array];
+                    auto It = Pd.find(Flat);
+                    if (It == Pd.end()) {
+                      violation("proc " + std::to_string(P) +
+                                " sends unwritten non-local element of " +
+                                Ev.Array);
+                      V = A.at(Flat);
+                    } else {
+                      V = It->second; // transmitting a non-local write
+                    }
+                  }
+                  Msgs[Q].push_back({Flat, V});
+                });
+    for (unsigned Q : PartnerOrder) {
+      auto &Items = Msgs[Q];
+      uint64_t Bytes = Items.size() * A.elemBytes();
+      uint64_t PackBytes = Ev.InPlaceProven ? 0 : Bytes;
+      Mach.send(P, Q, static_cast<uint64_t>(Ev.Id), Bytes, PackBytes);
+      Payloads[{P, Q, Ev.Id}].push(std::move(Items));
+    }
+  }
+}
+
+void Interpreter::execRecv(const SpmdNode &N) {
+  const CommEvent &Ev = Prog.Events[N.EventId];
+  ArrayStore &A = Arrays.at(Ev.Array);
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    std::vector<unsigned> PartnerOrder;
+    std::map<unsigned, std::vector<int64_t>> Expect;
+    std::map<unsigned, std::set<int64_t>> Seen;
+    cg::execute(*Ev.RecvLoops, Env[P],
+                [&](int, const std::vector<int64_t> &E) {
+                  std::vector<int64_t> PT, Idx;
+                  for (unsigned S : Ev.PartnerSlots)
+                    PT.push_back(E[S]);
+                  for (unsigned S : Ev.ElemSlots)
+                    Idx.push_back(E[S]);
+                  if (!isRealVP(PT))
+                    return; // fictitious virtual processor
+                  unsigned Q = partnerRank(PT);
+                  if (Q == P)
+                    return;
+                  int64_t Flat = A.flatten(Idx);
+                  if (!Seen[Q].insert(Flat).second)
+                    return;
+                  if (Expect.find(Q) == Expect.end())
+                    PartnerOrder.push_back(Q);
+                  Expect[Q].push_back(Flat);
+                });
+    for (unsigned Q : PartnerOrder) {
+      auto &Flats = Expect[Q];
+      auto PIt = Payloads.find({Q, P, Ev.Id});
+      if (PIt == Payloads.end() || PIt->second.empty()) {
+        violation("proc " + std::to_string(P) + " expects a message from " +
+                  std::to_string(Q) + " for event " + std::to_string(Ev.Id) +
+                  " that was never sent");
+        continue;
+      }
+      std::vector<std::pair<int64_t, double>> Items =
+          std::move(PIt->second.front());
+      PIt->second.pop();
+      if (PIt->second.empty())
+        Payloads.erase(PIt);
+      Mach.recv(Q, P, static_cast<uint64_t>(Ev.Id),
+                Ev.InPlaceProven ? 0 : Items.size() * A.elemBytes());
+      std::unordered_map<int64_t, double> Got(Items.begin(), Items.end());
+      if (Got.size() != Flats.size())
+        violation("message size mismatch for event " + std::to_string(Ev.Id) +
+                  " (" + std::to_string(Got.size()) + " sent vs " +
+                  std::to_string(Flats.size()) + " expected)");
+      for (int64_t F : Flats) {
+        auto It = Got.find(F);
+        if (It == Got.end()) {
+          violation("expected element missing from message (event " +
+                    std::to_string(Ev.Id) + ")");
+          continue;
+        }
+        if (!A.Owner.empty() && A.Owner[F] == static_cast<int32_t>(P))
+          A.at(F) = It->second; // a remote write reaching its owner
+        else
+          Overlay[P][Ev.Array][F] = It->second;
+      }
+    }
+  }
+}
+
+void Interpreter::execReduce(const SpmdNode &N) {
+  double Combined = N.RedOp == SpmdNode::ReduceOp::Max
+                        ? -std::numeric_limits<double>::infinity()
+                        : 0.0;
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    double V = Accums[P][N.RedName];
+    Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, V)
+                                                  : Combined + V;
+  }
+  for (unsigned P = 0; P != NumProcs; ++P)
+    Accums[P][N.RedName] = Combined;
+  Mach.allReduce(N.RedBytes);
+  Mach.addCompute(0, N.RedCost);
+  Result.FinalAccums[N.RedName] = Combined;
+}
+
+void Interpreter::execNode(const SpmdNode &N) {
+  switch (N.K) {
+  case SpmdNode::Kind::Seq:
+    for (const auto &C : N.Children)
+      execNode(*C);
+    break;
+  case SpmdNode::Kind::TimeLoop: {
+    int64_t Lo = N.SeqLo.eval(Env[0]), Hi = N.SeqHi.eval(Env[0]);
+    for (int64_t V = Lo; V <= Hi; ++V) {
+      for (unsigned P = 0; P != NumProcs; ++P)
+        Env[P][N.SeqSlot] = V;
+      for (const auto &C : N.Children)
+        execNode(*C);
+    }
+    break;
+  }
+  case SpmdNode::Kind::Compute:
+    execCompute(N);
+    break;
+  case SpmdNode::Kind::Send:
+    execSend(N);
+    break;
+  case SpmdNode::Kind::Recv:
+    execRecv(N);
+    break;
+  case SpmdNode::Kind::Reduce:
+    execReduce(N);
+    break;
+  }
+}
+
+RunResult Interpreter::run() {
+  execNode(*Prog.Root);
+  if (!Payloads.empty())
+    violation("unconsumed messages remain (send/recv sets are not dual)");
+  Result.ElapsedSeconds = Mach.elapsed();
+  Result.Messages = Mach.totalMessages();
+  Result.Bytes = Mach.totalBytes();
+  return Result;
+}
+
+const ArrayStore &Interpreter::array(const std::string &Name) const {
+  return Arrays.at(Name);
+}

@@ -1,0 +1,103 @@
+//===- support/MathExtras.h - Checked integer arithmetic helpers ---------===//
+//
+// Part of dhpf-sets, a reproduction of "Using Integer Sets for Data-Parallel
+// Program Analysis and Optimization" (Adve & Mellor-Crummey, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer math helpers used throughout the Presburger set engine:
+/// overflow-checked 64-bit arithmetic (128-bit intermediates), gcd/lcm, and
+/// the floor/ceil division variants that Fourier-Motzkin elimination needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_SUPPORT_MATHEXTRAS_H
+#define DHPF_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+
+namespace dhpf {
+
+/// Multiplies two 64-bit integers, asserting that the result fits.
+inline int64_t mulOv(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) * B;
+  assert(R >= INT64_MIN && R <= INT64_MAX && "integer overflow in mulOv");
+  return static_cast<int64_t>(R);
+}
+
+/// Adds two 64-bit integers, asserting that the result fits.
+inline int64_t addOv(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) + B;
+  assert(R >= INT64_MIN && R <= INT64_MAX && "integer overflow in addOv");
+  return static_cast<int64_t>(R);
+}
+
+/// Subtracts two 64-bit integers, asserting that the result fits.
+inline int64_t subOv(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) - B;
+  assert(R >= INT64_MIN && R <= INT64_MAX && "integer overflow in subOv");
+  return static_cast<int64_t>(R);
+}
+
+/// Returns the non-negative greatest common divisor; gcd(0, 0) == 0.
+inline int64_t gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Returns the least common multiple of \p A and \p B (non-negative).
+inline int64_t lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  return mulOv(A / gcd64(A, B), B < 0 ? -B : B);
+}
+
+/// Floor division: largest q with q * D <= N. Requires D != 0.
+inline int64_t floorDiv(int64_t N, int64_t D) {
+  assert(D != 0 && "division by zero");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t Q = N / D;
+  if (N % D != 0 && N < 0)
+    --Q;
+  return Q;
+}
+
+/// Ceiling division: smallest q with q * D >= N. Requires D != 0.
+inline int64_t ceilDiv(int64_t N, int64_t D) {
+  assert(D != 0 && "division by zero");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t Q = N / D;
+  if (N % D != 0 && N > 0)
+    ++Q;
+  return Q;
+}
+
+/// Mathematical modulus: result in [0, D). Requires D > 0.
+inline int64_t floorMod(int64_t N, int64_t D) {
+  assert(D > 0 && "floorMod requires a positive modulus");
+  int64_t R = N % D;
+  if (R < 0)
+    R += D;
+  return R;
+}
+
+} // namespace dhpf
+
+#endif // DHPF_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,104 @@
+//===- support/Timer.h - Phase timing for compile-time breakdowns --------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hierarchical phase timers used to reproduce the paper's Table 1
+/// ("Breakdown of dHPF compilation time"). Phases are identified by name;
+/// nested phases accumulate into their own bucket, and a report can print
+/// each phase's share of the total, mirroring the paper's table layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_SUPPORT_TIMER_H
+#define DHPF_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dhpf {
+
+/// Accumulates wall-clock time per named phase.
+///
+/// The registry is explicit (no globals, per the no-static-constructor rule);
+/// the compiler driver owns one and threads it through the phases it times.
+class PhaseTimers {
+public:
+  /// RAII scope that charges elapsed wall-clock time to phase \p Name.
+  class Scope {
+  public:
+    Scope(PhaseTimers &Timers, const std::string &Name)
+        : Timers(Timers), Name(Name),
+          Start(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      auto End = std::chrono::steady_clock::now();
+      Timers.add(Name, std::chrono::duration<double>(End - Start).count());
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    PhaseTimers &Timers;
+    std::string Name;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+  /// Adds \p Seconds to the accumulated time of phase \p Name.
+  void add(const std::string &Name, double Seconds) {
+    auto It = Index.find(Name);
+    if (It == Index.end()) {
+      Index.emplace(Name, Entries.size());
+      Entries.push_back({Name, Seconds, 1});
+      return;
+    }
+    Entries[It->second].Seconds += Seconds;
+    ++Entries[It->second].Count;
+  }
+
+  /// Returns the accumulated seconds for \p Name (0 if never timed).
+  double seconds(const std::string &Name) const {
+    auto It = Index.find(Name);
+    return It == Index.end() ? 0.0 : Entries[It->second].Seconds;
+  }
+
+  /// Returns the number of times \p Name was timed.
+  unsigned count(const std::string &Name) const {
+    auto It = Index.find(Name);
+    return It == Index.end() ? 0 : Entries[It->second].Count;
+  }
+
+  struct Entry {
+    std::string Name;
+    double Seconds = 0;
+    unsigned Count = 0;
+  };
+
+  /// All phases in first-seen order (stable for report printing).
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  /// Merges another timer registry into this one.
+  void merge(const PhaseTimers &Other) {
+    for (const Entry &E : Other.Entries) {
+      add(E.Name, E.Seconds);
+      // `add` counted one occurrence; adjust to the true count.
+      Entries[Index[E.Name]].Count += E.Count - 1;
+    }
+  }
+
+  void clear() {
+    Index.clear();
+    Entries.clear();
+  }
+
+private:
+  std::map<std::string, size_t> Index;
+  std::vector<Entry> Entries;
+};
+
+} // namespace dhpf
+
+#endif // DHPF_SUPPORT_TIMER_H

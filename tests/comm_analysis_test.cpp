@@ -1,0 +1,244 @@
+//===- tests/comm_analysis_test.cpp - Figure 3/4/5 analyses --------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// Validates the communication-set equations (Figure 3), loop splitting
+// (Figure 4), and computation partitioning on a 1-D block-distributed
+// stencil:
+//
+//   processors P(4); template T(16); A, B identity-aligned; BLOCK
+//   do i = 2, 15 : A(i) = B(i-1) + B(i+1)   (owner-computes)
+//
+// Processor p owns [4p+1, 4p+4]; it must send its boundary elements to its
+// neighbors and receive theirs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Comm.h"
+#include "core/LoopSplit.h"
+#include "core/Partition.h"
+
+#include <gtest/gtest.h>
+
+using namespace dhpf;
+using namespace dhpf::core;
+using namespace dhpf::hpf;
+
+namespace {
+
+struct Stencil1D {
+  Program P{"stencil1d"};
+  ComputeNest Nest;
+  MapBuilder MB{P};
+
+  Stencil1D() {
+    P.addProcs("P", {Program::procDim(4)});
+    P.addTemplate("T", {range(1, 16)});
+    P.addArray("A", {range(1, 16)});
+    P.addArray("B", {range(1, 16)});
+    P.addAlign({"A", "T", {alignDim(0)}});
+    P.addAlign({"B", "T", {alignDim(0)}});
+    P.addDistribute({"T", "P", {distBlock(), }});
+    Nest.Name = "stencil";
+    Nest.Loops = {loop("i", 2, 15)};
+    Statement S;
+    S.Write = ref("A", {"i"});
+    S.Reads = {ref("B", {AffineExpr("i") - 1}),
+               ref("B", {AffineExpr("i") + 1})};
+    Nest.Stmts = {S};
+  }
+};
+
+/// Evaluates membership of a parameterized set/map where the only
+/// parameters are mv0 = M (plus none others).
+bool containsWithM(const Relation &R, int64_t M, std::vector<int64_t> Out,
+                   std::vector<int64_t> In = {}) {
+  std::vector<int64_t> Params;
+  for (const std::string &P : R.space().params()) {
+    assert(P == myDimParam(0) && "unexpected parameter");
+    (void)P;
+    Params.push_back(M);
+  }
+  return R.contains(Out, Params, In);
+}
+
+TEST(Partition, OwnerComputesCPMap) {
+  Stencil1D T;
+  CPInfo CP = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  EXPECT_FALSE(CP.Replicated);
+  EXPECT_EQ(CP.ProcName, "P");
+  // Processor 1 owns A[5..8] and executes exactly those iterations.
+  for (int64_t I = 2; I <= 15; ++I)
+    EXPECT_EQ(CP.CPMap.contains({I}, {}, {1}), I >= 5 && I <= 8) << I;
+  // Processor 0 executes i in [2,4] only (i=1 is outside the loop).
+  EXPECT_TRUE(CP.CPMap.contains({2}, {}, {0}));
+  EXPECT_FALSE(CP.CPMap.contains({1}, {}, {0}));
+}
+
+TEST(Partition, CpIterSet) {
+  Stencil1D T;
+  CPInfo CP = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  Relation Iters = cpIterSet(T.MB, T.Nest, CP);
+  EXPECT_TRUE(containsWithM(Iters, 1, {5}));
+  EXPECT_TRUE(containsWithM(Iters, 1, {8}));
+  EXPECT_FALSE(containsWithM(Iters, 1, {9}));
+  EXPECT_FALSE(containsWithM(Iters, 0, {1}));
+  EXPECT_TRUE(containsWithM(Iters, 3, {15}));
+}
+
+TEST(Partition, GroupStatements) {
+  Stencil1D T;
+  CPInfo CP1 = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  CPInfo CP2 = CP1;
+  std::vector<CPInfo> CPs = {CP1, CP2};
+  auto G = groupStatements(CPs);
+  EXPECT_EQ(G[0], G[1]);
+  CPInfo Rep;
+  Rep.Replicated = true;
+  CPs.push_back(Rep);
+  G = groupStatements(CPs);
+  EXPECT_NE(G[1], G[2]);
+}
+
+CommEventInput stencilEvent(Stencil1D &T, const CPInfo &CP) {
+  CommEventInput E;
+  E.Array = "B";
+  E.LoopVars = {"i"};
+  E.PlacementLevel = 0; // fully vectorized out of the i loop
+  for (const Reference &R : T.Nest.Stmts[0].Reads) {
+    CommRef CR;
+    CR.CPMap = CP.CPMap;
+    CR.RefMap = T.MB.refMap(T.Nest, R);
+    CR.IsWrite = false;
+    E.Refs.push_back(std::move(CR));
+  }
+  return E;
+}
+
+TEST(CommAnalysis, StencilSendRecvSets) {
+  Stencil1D T;
+  CPInfo CP = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  CommSets CS = computeCommSets(T.MB, stencilEvent(T, CP));
+
+  // m = 1 owns B[5..8]. It must send B(5) to p0 (which reads it at i=4 via
+  // B(i+1)) and B(8) to p2 (read at i=9 via B(i-1)).
+  EXPECT_TRUE(containsWithM(CS.SendCommMap, 1, {5}, {0}));
+  EXPECT_TRUE(containsWithM(CS.SendCommMap, 1, {8}, {2}));
+  EXPECT_FALSE(containsWithM(CS.SendCommMap, 1, {6}, {0}));
+  EXPECT_FALSE(containsWithM(CS.SendCommMap, 1, {5}, {2}));
+  // No self-communication.
+  EXPECT_FALSE(containsWithM(CS.SendCommMap, 1, {5}, {1}));
+  // m = 1 receives B(4) from p0 and B(9) from p2.
+  EXPECT_TRUE(containsWithM(CS.RecvCommMap, 1, {4}, {0}));
+  EXPECT_TRUE(containsWithM(CS.RecvCommMap, 1, {9}, {2}));
+  EXPECT_FALSE(containsWithM(CS.RecvCommMap, 1, {4}, {2}));
+  EXPECT_FALSE(containsWithM(CS.RecvCommMap, 1, {8}, {0}));
+  // Edge processors: p0 receives only from p1; p3 sends only to p2.
+  EXPECT_TRUE(containsWithM(CS.RecvCommMap, 0, {5}, {1}));
+  EXPECT_FALSE(containsWithM(CS.RecvCommMap, 0, {1}, {3}));
+  EXPECT_TRUE(containsWithM(CS.SendCommMap, 3, {13}, {2}));
+}
+
+TEST(CommAnalysis, SendRecvAreDuals) {
+  // Send(m -> q, a) must equal Recv(q <- m, a): swap roles via parameter
+  // renaming is awkward, so check pointwise over all pairs.
+  Stencil1D T;
+  CPInfo CP = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  CommSets CS = computeCommSets(T.MB, stencilEvent(T, CP));
+  for (int64_t M = 0; M < 4; ++M)
+    for (int64_t Q = 0; Q < 4; ++Q)
+      for (int64_t A = 1; A <= 16; ++A)
+        EXPECT_EQ(containsWithM(CS.SendCommMap, M, {A}, {Q}),
+                  containsWithM(CS.RecvCommMap, Q, {A}, {M}))
+            << "m=" << M << " q=" << Q << " a=" << A;
+}
+
+TEST(CommAnalysis, VectorizationPlacement) {
+  // Placing communication inside the i loop (PlacementLevel = 1) yields
+  // per-iteration sets parameterized by J0.
+  Stencil1D T;
+  CPInfo CP = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  CommEventInput E = stencilEvent(T, CP);
+  E.PlacementLevel = 1;
+  CommSets CS = computeCommSets(T.MB, E);
+  // At iteration J0 = 9 (executed by p2), p1 must send B(8).
+  const Relation &S = CS.SendCommMap;
+  std::vector<int64_t> Params;
+  for (const std::string &P : S.space().params()) {
+    if (P == myDimParam(0))
+      Params.push_back(1);
+    else if (P == placementParam(0))
+      Params.push_back(9);
+    else
+      FAIL() << "unexpected parameter " << P;
+  }
+  EXPECT_TRUE(S.contains({8}, Params, {2}));
+  EXPECT_FALSE(S.contains({5}, Params, {0}));
+}
+
+TEST(CommAnalysis, WriteCommunication) {
+  // Non-owner-computes: ON_HOME B(i-1) makes the write A(i) non-local at
+  // block boundaries; the writer must send the value to A's owner.
+  Stencil1D T;
+  Statement &S = T.Nest.Stmts[0];
+  S.OnHome = {ref("B", {AffineExpr("i") - 1})};
+  CPInfo CP = computeCP(T.MB, T.Nest, S);
+  CommEventInput E;
+  E.Array = "A";
+  E.LoopVars = {"i"};
+  CommRef CR;
+  CR.CPMap = CP.CPMap;
+  CR.RefMap = T.MB.refMap(T.Nest, S.Write);
+  CR.IsWrite = true;
+  E.Refs.push_back(CR);
+  CommSets CS = computeCommSets(T.MB, E);
+  // With ON_HOME B(i-1), iteration i runs on the owner of B(i-1); i = 4p+5
+  // (the first iteration of p+1's block... actually i-1 = 4p+4 boundary):
+  // p executes i = 4p+5 whose write A(4p+5) is owned by p+1.
+  EXPECT_TRUE(containsWithM(CS.SendCommMap, 0, {5}, {1}));
+  EXPECT_TRUE(containsWithM(CS.RecvCommMap, 1, {5}, {0}));
+  EXPECT_FALSE(containsWithM(CS.SendCommMap, 0, {4}, {1}));
+}
+
+TEST(LoopSplitTest, StencilSections) {
+  Stencil1D T;
+  CPInfo CP = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  Relation Iters = cpIterSet(T.MB, T.Nest, CP);
+  Relation LayoutMine = [&] {
+    LayoutResult L = T.MB.layout("B");
+    return L.Map.bindDomainToParams({myDimParam(0)});
+  }();
+  std::vector<SplitRef> Refs;
+  for (const Reference &R : T.Nest.Stmts[0].Reads)
+    Refs.push_back({T.MB.refMap(T.Nest, R), LayoutMine, /*IsWrite=*/false});
+  SplitSets SS = computeLoopSplit(Iters, Refs);
+  // m = 1 executes [5,8]; i=5 reads B(4) (p0's), i=8 reads B(9) (p2's).
+  EXPECT_TRUE(containsWithM(SS.LocalIters, 1, {6}));
+  EXPECT_TRUE(containsWithM(SS.LocalIters, 1, {7}));
+  EXPECT_FALSE(containsWithM(SS.LocalIters, 1, {5}));
+  EXPECT_TRUE(containsWithM(SS.NLROIters, 1, {5}));
+  EXPECT_TRUE(containsWithM(SS.NLROIters, 1, {8}));
+  EXPECT_TRUE(SS.NLWOIters.isEmpty());
+  EXPECT_TRUE(SS.NLRWIters.isEmpty());
+  EXPECT_TRUE(SS.NLRWEmpty);
+  // Sections partition cpIterSet.
+  Relation All = SS.LocalIters.unionWith(SS.NLROIters)
+                     .unionWith(SS.NLWOIters)
+                     .unionWith(SS.NLRWIters);
+  EXPECT_TRUE(All.isEqualTo(Iters));
+  EXPECT_TRUE(SS.LocalIters.intersect(SS.NLROIters).isEmpty());
+}
+
+TEST(ActiveVP, StencilBusySet) {
+  Stencil1D T;
+  CPInfo CP = computeCP(T.MB, T.Nest, T.Nest.Stmts[0]);
+  CommSets CS = computeCommSets(T.MB, stencilEvent(T, CP));
+  // All four processors are busy and active (stencil reaches everyone).
+  for (int64_t P = 0; P < 4; ++P) {
+    EXPECT_TRUE(CS.BusyVPSet.contains({P}));
+    EXPECT_TRUE(CS.ActiveSendVPSet.contains({P}));
+    EXPECT_TRUE(CS.ActiveRecvVPSet.contains({P}));
+  }
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+//===- tests/hpf_layout_test.cpp - Figure 2 primitive sets and maps ------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// Reproduces the paper's Figure 2 exactly: the primitive sets and mappings
+// (proc, Layout_A, Layout_B, loop, RefMap, CPMap) constructed for the
+// example HPF fragment:
+//
+//   real A(0:99,100), B(100,100)
+//   processors P(4)
+//   template T(100,100)
+//   align A(i,j) with T(i+1,j)
+//   align B(i,j) with T(*,i)
+//   distribute T(*,block) onto P
+//   do i = 1, N
+//     do j = 2, N+1
+//       A(i,j) = B(j-1,i)    ! ON_HOME B(j-1,i)
+//
+//===----------------------------------------------------------------------===//
+
+#include "hpf/Maps.h"
+
+#include <gtest/gtest.h>
+
+using namespace dhpf;
+using namespace dhpf::hpf;
+
+namespace {
+
+/// Builds the Figure 2 example program.
+Program figure2() {
+  Program P("figure2");
+  P.addParam("N");
+  P.addProcs("P", {Program::procDim(4)});
+  P.addTemplate("T", {range(1, 100), range(1, 100)});
+  P.addArray("A", {range(0, 99), range(1, 100)});
+  P.addArray("B", {range(1, 100), range(1, 100)});
+  P.addAlign({"A", "T", {alignDim(0, 1, 1), alignDim(1)}});
+  P.addAlign({"B", "T", {alignStar(), alignDim(0)}});
+  P.addDistribute({"T", "P", {distStar(), distBlock()}});
+  return P;
+}
+
+ComputeNest figure2Nest() {
+  ComputeNest N;
+  N.Name = "main";
+  N.Loops = {loop("i", 1, "N"), loop("j", 2, AffineExpr("N") + 1)};
+  Statement S;
+  S.Write = ref("A", {"i", "j"});
+  S.Reads = {ref("B", {AffineExpr("j") - 1, "i"})};
+  S.OnHome = {ref("B", {AffineExpr("j") - 1, "i"})};
+  N.Stmts = {S};
+  return N;
+}
+
+TEST(Figure2, ProcSet) {
+  Program P = figure2();
+  MapBuilder MB(P);
+  Relation Proc = MB.procSet("P");
+  EXPECT_TRUE(Proc.isEqualTo(parseRelation("{ [p] : 0 <= p <= 3 }")));
+}
+
+TEST(Figure2, LayoutA) {
+  Program P = figure2();
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("A");
+  EXPECT_FALSE(L.anyVirtual());
+  EXPECT_EQ(L.ProcName, "P");
+  Relation Expect = parseRelation(
+      "{ [p] -> [a1,a2] : 0 <= a1 <= 99 && 25p + 1 <= a2 <= 25p + 25 && "
+      "1 <= a2 <= 100 && 0 <= p <= 3 }");
+  EXPECT_TRUE(L.Map.isEqualTo(Expect))
+      << "got: " << L.Map.simplify().toString();
+}
+
+TEST(Figure2, LayoutB) {
+  Program P = figure2();
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("B");
+  Relation Expect = parseRelation(
+      "{ [p] -> [b1,b2] : 25p + 1 <= b1 <= 25p + 25 && 1 <= b1 <= 100 && "
+      "1 <= b2 <= 100 && 0 <= p <= 3 }");
+  EXPECT_TRUE(L.Map.isEqualTo(Expect))
+      << "got: " << L.Map.simplify().toString();
+}
+
+TEST(Figure2, LoopSet) {
+  Program P = figure2();
+  MapBuilder MB(P);
+  Relation Loop = MB.loopSet(figure2Nest());
+  Relation Expect = parseRelation(
+      "[N] -> { [i,j] : 1 <= i <= N && 2 <= j <= N + 1 }");
+  EXPECT_TRUE(Loop.isEqualTo(Expect));
+}
+
+TEST(Figure2, RefMap) {
+  Program P = figure2();
+  MapBuilder MB(P);
+  ComputeNest N = figure2Nest();
+  Relation RM = MB.refMap(N, N.Stmts[0].Reads[0]);
+  Relation Expect =
+      parseRelation("{ [i,j] -> [b1,b2] : b1 = j - 1 && b2 = i }");
+  EXPECT_TRUE(RM.isEqualTo(Expect));
+}
+
+TEST(Figure2, CPMap) {
+  // CPMap = (Layout_B o CPRef^-1) restricted in range to the loop set.
+  Program P = figure2();
+  MapBuilder MB(P);
+  ComputeNest N = figure2Nest();
+  Relation Layout = MB.layout("B").Map;
+  Relation RM = MB.refMap(N, N.Stmts[0].OnHome[0]);
+  Relation CPMap =
+      Layout.composeWith(RM.inverse()).restrictRange(MB.loopSet(N));
+  Relation Expect = parseRelation(
+      "[N] -> { [p] -> [l1,l2] : 1 <= l1 <= N && l1 <= 100 && "
+      "2 <= l2 && 25p + 2 <= l2 && l2 <= N + 1 && l2 <= 101 && "
+      "l2 <= 25p + 26 && 0 <= p <= 3 }");
+  EXPECT_TRUE(CPMap.isEqualTo(Expect))
+      << "got: " << CPMap.simplify().toString();
+}
+
+TEST(Layouts, CyclicFixed) {
+  Program P("cyc");
+  P.addProcs("P", {Program::procDim(4)});
+  P.addTemplate("T", {range(1, 16)});
+  P.addArray("A", {range(1, 16)});
+  P.addAlign({"A", "T", {alignDim(0)}});
+  P.addDistribute({"T", "P", {distCyclic()}});
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("A");
+  EXPECT_FALSE(L.anyVirtual());
+  // Element a is owned by processor (a-1) mod 4.
+  for (int64_t A = 1; A <= 16; ++A)
+    for (int64_t Pr = 0; Pr < 4; ++Pr)
+      EXPECT_EQ(L.Map.contains({A}, {}, {Pr}), (A - 1) % 4 == Pr)
+          << "a=" << A << " p=" << Pr;
+}
+
+TEST(Layouts, CyclicKFixed) {
+  Program P("cyck");
+  P.addProcs("P", {Program::procDim(3)});
+  P.addTemplate("T", {range(1, 18)});
+  P.addArray("A", {range(1, 18)});
+  P.addAlign({"A", "T", {alignDim(0)}});
+  P.addDistribute({"T", "P", {distCyclicK(2)}});
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("A");
+  for (int64_t A = 1; A <= 18; ++A)
+    for (int64_t Pr = 0; Pr < 3; ++Pr)
+      EXPECT_EQ(L.Map.contains({A}, {}, {Pr}), ((A - 1) / 2) % 3 == Pr)
+          << "a=" << A << " p=" << Pr;
+}
+
+TEST(Layouts, BlockSymbolicUsesVPModel) {
+  Program P("sym");
+  P.addParam("N");
+  P.addProcs("P", {Program::procDimSym("NP")});
+  P.addTemplate("T", {range(1, "N")});
+  P.addArray("A", {range(1, "N")});
+  P.addAlign({"A", "T", {alignDim(0)}});
+  P.addDistribute({"T", "P", {distBlock()}});
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("A");
+  EXPECT_TRUE(L.anyVirtual());
+  ASSERT_EQ(L.Dims.size(), 1u);
+  EXPECT_EQ(L.Dims[0].Kind, DistSpec::Kind::Block);
+  EXPECT_TRUE(L.Dims[0].Virtualized);
+  // With N = 20 and B = 5 (i.e. 4 processors), VP v owns [v, v+4].
+  std::string B = MapBuilder::blockParamName("T", 0);
+  int NIdx = L.Map.space().paramIndex("N");
+  int BIdx = L.Map.space().paramIndex(B);
+  ASSERT_GE(NIdx, 0);
+  ASSERT_GE(BIdx, 0);
+  std::vector<int64_t> Params(L.Map.numParams(), 0);
+  Params[NIdx] = 20;
+  Params[BIdx] = 5;
+  EXPECT_TRUE(L.Map.contains({6}, Params, {6}));  // v=6 owns 6..10
+  EXPECT_TRUE(L.Map.contains({10}, Params, {6}));
+  EXPECT_FALSE(L.Map.contains({11}, Params, {6}));
+  // Physical processor 1's VP is v = B*1 + 1 = 6.
+}
+
+TEST(Layouts, CyclicSymbolicVP) {
+  Program P("symc");
+  P.addProcs("P", {Program::procDimSym("NP")});
+  P.addTemplate("T", {range(1, 12)});
+  P.addArray("A", {range(1, 12)});
+  P.addAlign({"A", "T", {alignDim(0)}});
+  P.addDistribute({"T", "P", {distCyclic()}});
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("A");
+  EXPECT_TRUE(L.anyVirtual());
+  // Every template cell is its own VP: v owns exactly {v}.
+  std::vector<int64_t> Params(L.Map.numParams(), 4);
+  EXPECT_TRUE(L.Map.contains({7}, Params, {7}));
+  EXPECT_FALSE(L.Map.contains({8}, Params, {7}));
+}
+
+TEST(Layouts, ReplicatedArray) {
+  Program P("rep");
+  P.addArray("S", {range(1, 10)});
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("S");
+  EXPECT_TRUE(L.ProcName.empty());
+  EXPECT_EQ(L.Map.numIn(), 0u);
+  EXPECT_TRUE(L.Map.contains({5}));
+  EXPECT_FALSE(L.Map.contains({11}));
+}
+
+TEST(Layouts, LayoutBindings) {
+  Program P("bind");
+  P.addParam("N");
+  P.addProcs("P", {Program::procDimSym("NP")});
+  P.addTemplate("T", {range(1, "N")});
+  P.addArray("A", {range(1, "N")});
+  P.addAlign({"A", "T", {alignDim(0)}});
+  P.addDistribute({"T", "P", {distBlock()}});
+  MapBuilder MB(P);
+  auto Bind = MB.layoutBindings({{"N", 103}}, {{"P", {4}}});
+  EXPECT_EQ(Bind.at("NP"), 4);
+  EXPECT_EQ(Bind.at(MapBuilder::blockParamName("T", 0)), 26);
+}
+
+TEST(Layouts, TwoDimBlockBlock) {
+  // The JACOBI configuration: (BLOCK,BLOCK) on a 2x2 grid of 4 procs.
+  Program P("bb");
+  P.addProcs("PR", {Program::procDim(2), Program::procDim(2)});
+  P.addTemplate("T", {range(1, 8), range(1, 8)});
+  P.addArray("A", {range(1, 8), range(1, 8)});
+  P.addAlign({"A", "T", {alignDim(0), alignDim(1)}});
+  P.addDistribute({"T", "PR", {distBlock(), distBlock()}});
+  MapBuilder MB(P);
+  LayoutResult L = MB.layout("A");
+  EXPECT_FALSE(L.anyVirtual());
+  for (int64_t I = 1; I <= 8; ++I)
+    for (int64_t J = 1; J <= 8; ++J) {
+      int64_t OwnerP0 = (I - 1) / 4, OwnerP1 = (J - 1) / 4;
+      for (int64_t P0 = 0; P0 < 2; ++P0)
+        for (int64_t P1 = 0; P1 < 2; ++P1)
+          EXPECT_EQ(L.Map.contains({I, J}, {}, {P0, P1}),
+                    P0 == OwnerP0 && P1 == OwnerP1);
+    }
+}
+
+} // namespace

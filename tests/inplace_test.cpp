@@ -1,0 +1,108 @@
+//===- tests/inplace_test.cpp - In-place communication (Section 3.3) -----===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InPlace.h"
+
+#include <gtest/gtest.h>
+
+using namespace dhpf;
+using namespace dhpf::core;
+
+namespace {
+
+Relation box10x10() {
+  return parseRelation("{ [i,j] : 1 <= i <= 10 && 1 <= j <= 10 }");
+}
+
+TEST(InPlace, FullColumnIsContiguous) {
+  // A column of a column-major array: full extent in dim 0, single index
+  // in dim 1.
+  Relation C = parseRelation("{ [i,j] : 1 <= i <= 10 && j = 3 }");
+  InPlaceResult R = analyzeInPlace(C, box10x10());
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::Contiguous);
+  EXPECT_EQ(R.SplitDim, 1);
+}
+
+TEST(InPlace, RowIsNotContiguous) {
+  Relation C = parseRelation("{ [i,j] : i = 3 && 1 <= j <= 10 }");
+  InPlaceResult R = analyzeInPlace(C, box10x10());
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::NotContiguous);
+}
+
+TEST(InPlace, PartialColumnIsContiguous) {
+  Relation C = parseRelation("{ [i,j] : 4 <= i <= 7 && j = 2 }");
+  InPlaceResult R = analyzeInPlace(C, box10x10());
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::Contiguous);
+  EXPECT_EQ(R.SplitDim, 0);
+}
+
+TEST(InPlace, MultiColumnBlockIsContiguous) {
+  // Full columns j in [3,5]: contiguous (dims 0 full, dim 1 convex, none
+  // after).
+  Relation C = parseRelation("{ [i,j] : 1 <= i <= 10 && 3 <= j <= 5 }");
+  InPlaceResult R = analyzeInPlace(C, box10x10());
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::Contiguous);
+}
+
+TEST(InPlace, PartialPlaneIsNot) {
+  // Partial range in dim 0 with several j values: not contiguous.
+  Relation C = parseRelation("{ [i,j] : 2 <= i <= 9 && 3 <= j <= 5 }");
+  InPlaceResult R = analyzeInPlace(C, box10x10());
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::NotContiguous);
+}
+
+TEST(InPlace, GappedColumnIsNot) {
+  // Disjunction binds the whole clause in the parser; build the gapped
+  // column as an explicit union.
+  Relation C1 = parseRelation("{ [i,j] : 1 <= i <= 3 && j = 2 }");
+  Relation C2 = parseRelation("{ [i,j] : 6 <= i <= 10 && j = 2 }");
+  InPlaceResult R = analyzeInPlace(C1.unionWith(C2), box10x10());
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::NotContiguous);
+}
+
+TEST(InPlace, WholeArrayAndEmpty) {
+  EXPECT_EQ(analyzeInPlace(box10x10(), box10x10()).Verdict,
+            InPlaceVerdict::Contiguous);
+  Relation Empty = parseRelation("{ [i,j] : false }");
+  EXPECT_EQ(analyzeInPlace(Empty, box10x10()).Verdict,
+            InPlaceVerdict::Contiguous);
+}
+
+TEST(InPlace, ParametricSingletonProven) {
+  // A column at a symbolic position m: provable for all m.
+  Relation C = parseRelation("[m] -> { [i,j] : 1 <= i <= 10 && j = m }");
+  InPlaceResult R = analyzeInPlace(C, box10x10());
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::Contiguous);
+}
+
+TEST(InPlace, ThreeDimFace) {
+  // A(:, :, k): contiguous. A(:, k, :): not.
+  Relation Arr = parseRelation(
+      "{ [i,j,k] : 1 <= i <= 4 && 1 <= j <= 4 && 1 <= k <= 4 }");
+  Relation Face = parseRelation(
+      "{ [i,j,k] : 1 <= i <= 4 && 1 <= j <= 4 && k = 2 }");
+  EXPECT_EQ(analyzeInPlace(Face, Arr).Verdict, InPlaceVerdict::Contiguous);
+  Relation Mid = parseRelation(
+      "{ [i,j,k] : 1 <= i <= 4 && j = 2 && 1 <= k <= 4 }");
+  EXPECT_EQ(analyzeInPlace(Mid, Arr).Verdict, InPlaceVerdict::NotContiguous);
+}
+
+TEST(InPlace, RuntimeCheckPath) {
+  // Convexity depends on the parameter M: undecidable symbolically, decided
+  // exactly by the synthesized runtime check.
+  Relation C1 = parseRelation("[M] -> { [i] : 1 <= i <= M }");
+  Relation C2 = parseRelation("[M] -> { [i] : M + 2 <= i <= 8 }");
+  Relation C = C1.unionWith(C2);
+  Relation Arr = parseRelation("{ [i] : 1 <= i <= 10 }");
+  InPlaceResult R = analyzeInPlace(C, Arr);
+  EXPECT_EQ(R.Verdict, InPlaceVerdict::RuntimeCheck);
+  // M = 8: the second conjunct is empty, C = [1,8] is convex.
+  EXPECT_TRUE(checkInPlaceAtRuntime(R, {{"M", 8}}));
+  // M = 3: C = [1,3] u [5,8] has a gap.
+  EXPECT_FALSE(checkInPlaceAtRuntime(R, {{"M", 3}}));
+}
+
+} // namespace

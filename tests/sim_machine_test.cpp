@@ -1,0 +1,147 @@
+//===- tests/sim_machine_test.cpp - Machine model unit tests -------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// Unit tests for the simulated message-passing machine (clock advancement,
+// blocking-receive semantics, FIFO message matching, reductions) and the
+// phase-timer registry behind the Table 1 report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dhpf;
+using namespace dhpf::sim;
+
+namespace {
+
+MachineParams testParams() {
+  MachineParams P;
+  P.Alpha = 100e-6;
+  P.SendOverhead = 10e-6;
+  P.BetaPerByte = 1e-6; // exaggerated so transfer time is visible
+  P.SecPerWork = 1e-6;
+  P.PackPerByte = 1e-6;
+  return P;
+}
+
+TEST(Machine, ComputeAdvancesOneClock) {
+  Machine M(4, testParams());
+  M.addCompute(2, 50);
+  EXPECT_DOUBLE_EQ(M.clock(2), 50e-6);
+  EXPECT_DOUBLE_EQ(M.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(M.elapsed(), 50e-6);
+}
+
+TEST(Machine, BlockingRecvWaitsForTransit) {
+  Machine M(2, testParams());
+  // Sender posts at t=0: pays pack (8us) + overhead (10us); the payload
+  // lands at sender-clock + alpha + bytes*beta = 18 + 100 + 8 = 126us.
+  M.send(0, 1, /*Tag=*/7, /*Bytes=*/8, /*PackBytes=*/8);
+  EXPECT_DOUBLE_EQ(M.clock(0), 18e-6);
+  M.recv(0, 1, 7, /*UnpackBytes=*/8);
+  EXPECT_DOUBLE_EQ(M.clock(1), 126e-6 + 8e-6); // wait + unpack
+  EXPECT_TRUE(M.allMessagesConsumed());
+}
+
+TEST(Machine, LateReceiverDoesNotWait) {
+  Machine M(2, testParams());
+  M.send(0, 1, 7, 8, 8);
+  M.addCompute(1, 1000); // receiver is busy for 1ms >> transit
+  M.recv(0, 1, 7, 0);
+  EXPECT_DOUBLE_EQ(M.clock(1), 1000e-6); // message already there
+}
+
+TEST(Machine, InPlaceSkipsCopies) {
+  Machine M(2, testParams());
+  M.send(0, 1, 1, 1024, /*PackBytes=*/0); // in-place: no pack copy
+  EXPECT_DOUBLE_EQ(M.clock(0), 10e-6);    // only the injection overhead
+}
+
+TEST(Machine, FifoMatchingPerChannel) {
+  Machine M(2, testParams());
+  M.send(0, 1, 3, 8, 0);
+  M.addCompute(0, 500);
+  M.send(0, 1, 3, 8, 0); // second message on the same (src,dst,tag)
+  M.recv(0, 1, 3, 0);    // matches the first (earlier availability)
+  double T1 = M.clock(1);
+  M.recv(0, 1, 3, 0); // matches the second
+  EXPECT_GT(M.clock(1), T1);
+  EXPECT_TRUE(M.allMessagesConsumed());
+}
+
+TEST(Machine, DistinctTagsAreIndependent) {
+  Machine M(3, testParams());
+  M.send(0, 2, 1, 8, 0);
+  M.send(1, 2, 2, 8, 0);
+  EXPECT_FALSE(M.allMessagesConsumed());
+  M.recv(1, 2, 2, 0);
+  M.recv(0, 2, 1, 0);
+  EXPECT_TRUE(M.allMessagesConsumed());
+}
+
+TEST(Machine, AllReduceSynchronizesAndCharges) {
+  Machine M(4, testParams());
+  M.addCompute(3, 700);
+  M.allReduce(8);
+  // Everyone lands at max-clock + 2*log2(4)*(alpha + 8*beta).
+  double Expect = 700e-6 + 4 * (100e-6 + 8e-6);
+  for (unsigned P = 0; P != 4; ++P)
+    EXPECT_DOUBLE_EQ(M.clock(P), Expect);
+}
+
+TEST(Machine, SingleProcReduceIsFree) {
+  Machine M(1, testParams());
+  M.addCompute(0, 10);
+  M.allReduce(8);
+  EXPECT_DOUBLE_EQ(M.clock(0), 10e-6);
+}
+
+TEST(Machine, CountersAccumulate) {
+  Machine M(2, testParams());
+  M.send(0, 1, 1, 100, 0);
+  M.send(1, 0, 1, 50, 0);
+  EXPECT_EQ(M.totalMessages(), 2u);
+  EXPECT_EQ(M.totalBytes(), 150u);
+}
+
+TEST(Timers, AccumulateAndCount) {
+  PhaseTimers T;
+  T.add("phase a", 1.5);
+  T.add("phase a", 0.5);
+  T.add("phase b", 3.0);
+  EXPECT_DOUBLE_EQ(T.seconds("phase a"), 2.0);
+  EXPECT_EQ(T.count("phase a"), 2u);
+  EXPECT_DOUBLE_EQ(T.seconds("missing"), 0.0);
+  ASSERT_EQ(T.entries().size(), 2u);
+  EXPECT_EQ(T.entries()[0].Name, "phase a"); // first-seen order
+}
+
+TEST(Timers, ScopeChargesElapsed) {
+  PhaseTimers T;
+  {
+    PhaseTimers::Scope S(T, "scoped");
+    volatile int X = 0;
+    for (int I = 0; I != 100000; ++I)
+      X = X + I;
+    (void)X;
+  }
+  EXPECT_GT(T.seconds("scoped"), 0.0);
+  EXPECT_EQ(T.count("scoped"), 1u);
+}
+
+TEST(Timers, MergeCombines) {
+  PhaseTimers A, B;
+  A.add("x", 1.0);
+  B.add("x", 2.0);
+  B.add("y", 5.0);
+  A.merge(B);
+  EXPECT_DOUBLE_EQ(A.seconds("x"), 3.0);
+  EXPECT_DOUBLE_EQ(A.seconds("y"), 5.0);
+  EXPECT_EQ(A.count("x"), 2u);
+}
+
+} // namespace
