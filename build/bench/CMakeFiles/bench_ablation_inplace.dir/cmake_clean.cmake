@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inplace.dir/bench_ablation_inplace.cpp.o"
+  "CMakeFiles/bench_ablation_inplace.dir/bench_ablation_inplace.cpp.o.d"
+  "bench_ablation_inplace"
+  "bench_ablation_inplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pset_ops.dir/bench_pset_ops.cpp.o"
+  "CMakeFiles/bench_pset_ops.dir/bench_pset_ops.cpp.o.d"
+  "bench_pset_ops"
+  "bench_pset_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pset_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vp_model.dir/bench_vp_model.cpp.o"
+  "CMakeFiles/bench_vp_model.dir/bench_vp_model.cpp.o.d"
+  "bench_vp_model"
+  "bench_vp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_symbolic.dir/gauss_symbolic.cpp.o"
+  "CMakeFiles/gauss_symbolic.dir/gauss_symbolic.cpp.o.d"
+  "gauss_symbolic"
+  "gauss_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

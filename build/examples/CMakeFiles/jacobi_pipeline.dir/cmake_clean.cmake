@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_pipeline.dir/jacobi_pipeline.cpp.o"
+  "CMakeFiles/jacobi_pipeline.dir/jacobi_pipeline.cpp.o.d"
+  "jacobi_pipeline"
+  "jacobi_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_apps.dir/Erlebacher.cpp.o"
+  "CMakeFiles/dhpf_apps.dir/Erlebacher.cpp.o.d"
+  "CMakeFiles/dhpf_apps.dir/Gauss.cpp.o"
+  "CMakeFiles/dhpf_apps.dir/Gauss.cpp.o.d"
+  "CMakeFiles/dhpf_apps.dir/Jacobi.cpp.o"
+  "CMakeFiles/dhpf_apps.dir/Jacobi.cpp.o.d"
+  "CMakeFiles/dhpf_apps.dir/SpLike.cpp.o"
+  "CMakeFiles/dhpf_apps.dir/SpLike.cpp.o.d"
+  "CMakeFiles/dhpf_apps.dir/Tomcatv.cpp.o"
+  "CMakeFiles/dhpf_apps.dir/Tomcatv.cpp.o.d"
+  "libdhpf_apps.a"
+  "libdhpf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

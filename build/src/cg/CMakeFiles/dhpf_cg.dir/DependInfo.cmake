@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cg/Ast.cpp" "src/cg/CMakeFiles/dhpf_cg.dir/Ast.cpp.o" "gcc" "src/cg/CMakeFiles/dhpf_cg.dir/Ast.cpp.o.d"
+  "/root/repo/src/cg/CodeGen.cpp" "src/cg/CMakeFiles/dhpf_cg.dir/CodeGen.cpp.o" "gcc" "src/cg/CMakeFiles/dhpf_cg.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/cg/Expr.cpp" "src/cg/CMakeFiles/dhpf_cg.dir/Expr.cpp.o" "gcc" "src/cg/CMakeFiles/dhpf_cg.dir/Expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pset/CMakeFiles/dhpf_pset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

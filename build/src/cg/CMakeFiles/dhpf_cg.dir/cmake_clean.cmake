@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_cg.dir/Ast.cpp.o"
+  "CMakeFiles/dhpf_cg.dir/Ast.cpp.o.d"
+  "CMakeFiles/dhpf_cg.dir/CodeGen.cpp.o"
+  "CMakeFiles/dhpf_cg.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/dhpf_cg.dir/Expr.cpp.o"
+  "CMakeFiles/dhpf_cg.dir/Expr.cpp.o.d"
+  "libdhpf_cg.a"
+  "libdhpf_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_core.dir/Comm.cpp.o"
+  "CMakeFiles/dhpf_core.dir/Comm.cpp.o.d"
+  "CMakeFiles/dhpf_core.dir/Compiler.cpp.o"
+  "CMakeFiles/dhpf_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/dhpf_core.dir/InPlace.cpp.o"
+  "CMakeFiles/dhpf_core.dir/InPlace.cpp.o.d"
+  "CMakeFiles/dhpf_core.dir/LoopSplit.cpp.o"
+  "CMakeFiles/dhpf_core.dir/LoopSplit.cpp.o.d"
+  "CMakeFiles/dhpf_core.dir/Partition.cpp.o"
+  "CMakeFiles/dhpf_core.dir/Partition.cpp.o.d"
+  "libdhpf_core.a"
+  "libdhpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

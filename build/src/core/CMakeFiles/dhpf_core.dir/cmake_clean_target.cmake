@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdhpf_core.a"
+)

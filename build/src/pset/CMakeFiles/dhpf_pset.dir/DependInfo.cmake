@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pset/Conjunct.cpp" "src/pset/CMakeFiles/dhpf_pset.dir/Conjunct.cpp.o" "gcc" "src/pset/CMakeFiles/dhpf_pset.dir/Conjunct.cpp.o.d"
+  "/root/repo/src/pset/OmegaTest.cpp" "src/pset/CMakeFiles/dhpf_pset.dir/OmegaTest.cpp.o" "gcc" "src/pset/CMakeFiles/dhpf_pset.dir/OmegaTest.cpp.o.d"
+  "/root/repo/src/pset/Parser.cpp" "src/pset/CMakeFiles/dhpf_pset.dir/Parser.cpp.o" "gcc" "src/pset/CMakeFiles/dhpf_pset.dir/Parser.cpp.o.d"
+  "/root/repo/src/pset/Relation.cpp" "src/pset/CMakeFiles/dhpf_pset.dir/Relation.cpp.o" "gcc" "src/pset/CMakeFiles/dhpf_pset.dir/Relation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_pset.dir/Conjunct.cpp.o"
+  "CMakeFiles/dhpf_pset.dir/Conjunct.cpp.o.d"
+  "CMakeFiles/dhpf_pset.dir/OmegaTest.cpp.o"
+  "CMakeFiles/dhpf_pset.dir/OmegaTest.cpp.o.d"
+  "CMakeFiles/dhpf_pset.dir/Parser.cpp.o"
+  "CMakeFiles/dhpf_pset.dir/Parser.cpp.o.d"
+  "CMakeFiles/dhpf_pset.dir/Relation.cpp.o"
+  "CMakeFiles/dhpf_pset.dir/Relation.cpp.o.d"
+  "libdhpf_pset.a"
+  "libdhpf_pset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_pset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

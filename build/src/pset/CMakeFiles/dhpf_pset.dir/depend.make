@@ -1,0 +1,2 @@
+# Empty dependencies file for dhpf_pset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_spmd.dir/Interp.cpp.o"
+  "CMakeFiles/dhpf_spmd.dir/Interp.cpp.o.d"
+  "CMakeFiles/dhpf_spmd.dir/SpmdProgram.cpp.o"
+  "CMakeFiles/dhpf_spmd.dir/SpmdProgram.cpp.o.d"
+  "libdhpf_spmd.a"
+  "libdhpf_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

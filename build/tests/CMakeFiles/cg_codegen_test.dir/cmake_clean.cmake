@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_codegen_test.dir/cg_codegen_test.cpp.o"
+  "CMakeFiles/cg_codegen_test.dir/cg_codegen_test.cpp.o.d"
+  "cg_codegen_test"
+  "cg_codegen_test.pdb"
+  "cg_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

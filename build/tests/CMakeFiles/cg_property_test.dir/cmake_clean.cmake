@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_property_test.dir/cg_property_test.cpp.o"
+  "CMakeFiles/cg_property_test.dir/cg_property_test.cpp.o.d"
+  "cg_property_test"
+  "cg_property_test.pdb"
+  "cg_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_analysis_test.dir/comm_analysis_test.cpp.o"
+  "CMakeFiles/comm_analysis_test.dir/comm_analysis_test.cpp.o.d"
+  "comm_analysis_test"
+  "comm_analysis_test.pdb"
+  "comm_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

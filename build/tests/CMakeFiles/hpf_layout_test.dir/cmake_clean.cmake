@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_layout_test.dir/hpf_layout_test.cpp.o"
+  "CMakeFiles/hpf_layout_test.dir/hpf_layout_test.cpp.o.d"
+  "hpf_layout_test"
+  "hpf_layout_test.pdb"
+  "hpf_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

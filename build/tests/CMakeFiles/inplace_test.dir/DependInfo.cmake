@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/inplace_test.cpp" "tests/CMakeFiles/inplace_test.dir/inplace_test.cpp.o" "gcc" "tests/CMakeFiles/inplace_test.dir/inplace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dhpf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmd/CMakeFiles/dhpf_spmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpf/CMakeFiles/dhpf_hpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/dhpf_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pset/CMakeFiles/dhpf_pset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inplace_test.dir/inplace_test.cpp.o"
+  "CMakeFiles/inplace_test.dir/inplace_test.cpp.o.d"
+  "inplace_test"
+  "inplace_test.pdb"
+  "inplace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inplace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pset_basic_test.dir/pset_basic_test.cpp.o"
+  "CMakeFiles/pset_basic_test.dir/pset_basic_test.cpp.o.d"
+  "pset_basic_test"
+  "pset_basic_test.pdb"
+  "pset_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pset_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

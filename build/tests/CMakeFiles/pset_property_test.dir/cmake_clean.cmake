@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pset_property_test.dir/pset_property_test.cpp.o"
+  "CMakeFiles/pset_property_test.dir/pset_property_test.cpp.o.d"
+  "pset_property_test"
+  "pset_property_test.pdb"
+  "pset_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pset_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

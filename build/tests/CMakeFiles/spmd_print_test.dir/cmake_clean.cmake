@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_print_test.dir/spmd_print_test.cpp.o"
+  "CMakeFiles/spmd_print_test.dir/spmd_print_test.cpp.o.d"
+  "spmd_print_test"
+  "spmd_print_test.pdb"
+  "spmd_print_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_print_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pset_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/cg_codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/vp_model_test[1]_include.cmake")
+include("/root/repo/build/tests/inplace_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_compile_run_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/pset_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cg_property_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/spmd_print_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_parser_test[1]_include.cmake")
