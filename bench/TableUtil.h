@@ -60,6 +60,70 @@ inline void printTable1(const std::vector<CompileColumn> &Cols) {
   }
 }
 
+/// One subject's before/after measurement for the machine-readable report.
+struct SubjectResult {
+  std::string Name;
+  double BaselineSecs = 0;             ///< cache+fast paths off, sequential
+  const core::CompileOutput *Opt = nullptr; ///< cache+parallel compile
+};
+
+/// Writes the Table 1 results as JSON (one object per subject with the
+/// baseline/optimized totals, per-phase seconds of the optimized run, and
+/// the cache/fast-path counters). Consumed by scripts; keep keys stable.
+inline void writeTable1Json(const char *Path,
+                            const std::vector<SubjectResult> &Subjects) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  const char *Phases[] = {
+      core::phase::Total,          core::phase::Interproc,
+      core::phase::Partitioning,   core::phase::LoopSplitting,
+      core::phase::BoundsReduction, core::phase::CommGeneration,
+      core::phase::CommEquations,  core::phase::CommLoops,
+      core::phase::ContigCheck,    core::phase::RectCheck,
+      core::phase::OptGenerated,   core::phase::MMCodegen,
+  };
+  std::fprintf(F, "{\n  \"bench\": \"table1_compile_time\",\n"
+                  "  \"subjects\": [\n");
+  for (size_t I = 0; I != Subjects.size(); ++I) {
+    const SubjectResult &S = Subjects[I];
+    double OptSecs = S.Opt->Timers.seconds(core::phase::Total);
+    std::fprintf(F, "    {\n      \"name\": \"%s\",\n", S.Name.c_str());
+    std::fprintf(F, "      \"baseline_s\": %.6f,\n", S.BaselineSecs);
+    std::fprintf(F, "      \"optimized_s\": %.6f,\n", OptSecs);
+    std::fprintf(F, "      \"speedup\": %.3f,\n",
+                 OptSecs > 0 ? S.BaselineSecs / OptSecs : 0.0);
+    std::fprintf(F, "      \"threads\": %u,\n", S.Opt->ThreadsUsed);
+    std::fprintf(F, "      \"comm_events\": %u,\n", S.Opt->NumCommEvents);
+    std::fprintf(F, "      \"split_nests\": %u,\n", S.Opt->NumSplitNests);
+    std::fprintf(F, "      \"contiguous_msgs\": %u,\n",
+                 S.Opt->NumContiguousProven);
+    const pset::CacheStats &CS = S.Opt->Cache;
+    std::fprintf(F,
+                 "      \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"evictions\": %llu, \"hit_rate\": %.4f, "
+                 "\"fast_empty_bbox\": %llu, \"fast_disjoint_bbox\": %llu, "
+                 "\"fast_subset_fp\": %llu, \"dup_rows_removed\": %llu},\n",
+                 static_cast<unsigned long long>(CS.Hits),
+                 static_cast<unsigned long long>(CS.Misses),
+                 static_cast<unsigned long long>(CS.Evictions),
+                 CS.hitRate(),
+                 static_cast<unsigned long long>(CS.FastEmptyBBox),
+                 static_cast<unsigned long long>(CS.FastDisjointBBox),
+                 static_cast<unsigned long long>(CS.FastSubsetFP),
+                 static_cast<unsigned long long>(CS.DupRowsRemoved));
+    std::fprintf(F, "      \"phases_s\": {");
+    for (size_t P = 0; P != sizeof(Phases) / sizeof(Phases[0]); ++P)
+      std::fprintf(F, "%s\"%s\": %.6f", P ? ", " : "", Phases[P],
+                   S.Opt->Timers.seconds(Phases[P]));
+    std::fprintf(F, "}\n    }%s\n", I + 1 != Subjects.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
 } // namespace bench
 } // namespace dhpf
 

@@ -10,6 +10,7 @@
 #include "core/InPlace.h"
 #include "core/LoopSplit.h"
 #include "core/Partition.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <map>
@@ -59,7 +60,24 @@ struct EventPlan {
   CommEventInput In;
   CommSets CS;
   bool IsWrite = false;
+  bool Communicates = false;
   int EventId = -1;
+};
+
+/// Everything about one compute nest that can be derived without touching
+/// shared compiler state. Produced by Driver::analyzeNest — possibly on a
+/// worker thread — and consumed sequentially during emission, so the
+/// compiled program is independent of the analysis schedule.
+struct NestAnalysis {
+  std::vector<CPInfo> CPs;
+  std::vector<unsigned> Groups;
+  std::vector<Relation> GroupIters; // per group, bound to mv*
+  std::vector<EventPlan> Plans;
+  Relation BusyVP;
+  bool AnyBusy = false;
+  bool DoSplit = false;
+  SplitSets SS;
+  PhaseTimers Timers;
 };
 
 class Driver {
@@ -81,6 +99,10 @@ private:
   SpmdProgram *SP;
   PhaseTimers *T;
   bool ProcInfoSet = false;
+  /// Per-nest analyses in the order compilePhase visits nests; emission
+  /// consumes them through NextNestIdx.
+  std::vector<NestAnalysis> NestAnalyses;
+  size_t NextNestIdx = 0;
 
   //===------------------------- small helpers ---------------------------===//
 
@@ -286,19 +308,9 @@ private:
   /// registers it; returns its id, or -1 when there is no communication.
   int emitEvent(EventPlan &Plan) {
     const CommSets &CS = Plan.CS;
-    // The event communicates iff some processor accesses non-local data.
-    // (Testing the Send/Recv maps instead would keep spurious events alive
-    // under the VP model, where fictitious virtual processors "access"
-    // overlapping intervals.)
-    bool NLEmpty;
-    {
-      PhaseTimers::Scope S(*T, phase::CommGeneration);
-      NLEmpty = (CS.NLReadData.conjuncts().empty() ||
-                 CS.NLReadData.isEmpty()) &&
-                (CS.NLWriteData.conjuncts().empty() ||
-                 CS.NLWriteData.isEmpty());
-    }
-    if (NLEmpty)
+    // Plan.Communicates was decided during nest analysis: the event
+    // communicates iff some processor accesses non-local data.
+    if (!Plan.Communicates)
       return -1;
 
     spmd::CommEvent Ev;
@@ -364,38 +376,37 @@ private:
     return SP->Events.back().Id;
   }
 
-  //===------------------------- nest compilation ------------------------===//
+  //===------------------------- nest analysis ---------------------------===//
 
-  void compileNest(const ComputeNest &Nest, SpmdNode *Parent) {
+  /// Runs every per-nest analysis that does not need shared compiler state:
+  /// partitioning, statement grouping, the Figure 3/5 communication
+  /// equations, the busy-VP union, and the Figure 4 loop split. Writes only
+  /// to the returned NestAnalysis (including its private PhaseTimers), so
+  /// independent nests can be analyzed concurrently.
+  NestAnalysis analyzeNest(const ComputeNest &Nest) const {
+    NestAnalysis NA;
+    PhaseTimers &NT = NA.Timers;
+
     // 1. Computation partitioning.
-    std::vector<CPInfo> CPs;
-    std::vector<unsigned> Groups;
-    std::vector<Relation> GroupIters; // per group, bound to mv*
     {
-      PhaseTimers::Scope S(*T, phase::Partitioning);
-      for (const Statement &St : Nest.Stmts) {
-        CPs.push_back(computeCP(MB, Nest, St));
-        noteProcInfo(CPs.back());
-      }
-      Groups = groupStatements(CPs);
-      unsigned NumGroups = Groups.empty() ? 0 : Groups.back() + 1;
-      GroupIters.resize(NumGroups);
+      PhaseTimers::Scope S(NT, phase::Partitioning);
+      for (const Statement &St : Nest.Stmts)
+        NA.CPs.push_back(computeCP(MB, Nest, St));
+      NA.Groups = groupStatements(NA.CPs);
+      unsigned NumGroups = NA.Groups.empty() ? 0 : NA.Groups.back() + 1;
+      NA.GroupIters.resize(NumGroups);
       for (unsigned I = 0; I != Nest.Stmts.size(); ++I)
-        if (GroupIters[Groups[I]].conjuncts().empty())
-          GroupIters[Groups[I]] =
-              cpIterSet(MB, Nest, CPs[I]).simplify().coalesce();
+        if (NA.GroupIters[NA.Groups[I]].conjuncts().empty())
+          NA.GroupIters[NA.Groups[I]] =
+              cpIterSet(MB, Nest, NA.CPs[I]).simplify().coalesce();
     }
-
-    for (const Statement &St : Nest.Stmts)
-      compileStmt(St, Nest);
 
     unsigned V = std::min<unsigned>(Nest.VectorizeLevel, Nest.Loops.size());
 
     // 2. Plan communication events: (array, direction) keyed, coalescing
     // same-direction references when enabled.
-    std::vector<EventPlan> Plans;
     {
-      PhaseTimers::Scope S(*T, phase::CommEquations);
+      PhaseTimers::Scope S(NT, phase::CommEquations);
       std::map<std::pair<std::string, bool>, unsigned> Index;
       auto AddRef = [&](const std::string &Array, const CommRef &CR,
                         bool IsWrite) {
@@ -409,16 +420,16 @@ private:
             EP.In.LoopVars.push_back(L.Var);
           EP.IsWrite = IsWrite;
           if (Opts.Coalescing)
-            Index[Key] = Plans.size();
-          Plans.push_back(std::move(EP));
-          Plans.back().In.Refs.push_back(CR);
+            Index[Key] = NA.Plans.size();
+          NA.Plans.push_back(std::move(EP));
+          NA.Plans.back().In.Refs.push_back(CR);
           return;
         }
-        Plans[Index[Key]].In.Refs.push_back(CR);
+        NA.Plans[Index[Key]].In.Refs.push_back(CR);
       };
       for (unsigned I = 0; I != Nest.Stmts.size(); ++I) {
         const Statement &St = Nest.Stmts[I];
-        const CPInfo &CP = CPs[I];
+        const CPInfo &CP = NA.CPs[I];
         for (const Reference &R : St.Reads) {
           if (!P.alignOf(R.Array))
             continue; // replicated array: always local
@@ -443,12 +454,89 @@ private:
     }
     // Run the Figure 3 / Figure 5 equations per plan.
     {
-      PhaseTimers::Scope S(*T, phase::CommEquations);
-      for (EventPlan &EP : Plans)
+      PhaseTimers::Scope S(NT, phase::CommEquations);
+      for (EventPlan &EP : NA.Plans)
         EP.CS = computeCommSets(MB, EP.In, Opts.CombinedFormulation);
     }
+    // The event communicates iff some processor accesses non-local data.
+    // (Testing the Send/Recv maps instead would keep spurious events alive
+    // under the VP model, where fictitious virtual processors "access"
+    // overlapping intervals.)
+    {
+      PhaseTimers::Scope S(NT, phase::CommGeneration);
+      for (EventPlan &EP : NA.Plans)
+        EP.Communicates = !((EP.CS.NLReadData.conjuncts().empty() ||
+                             EP.CS.NLReadData.isEmpty()) &&
+                            (EP.CS.NLWriteData.conjuncts().empty() ||
+                             EP.CS.NLWriteData.isEmpty()));
+    }
+
+    // 3. The union of busy VPs across groups (for VP loop wrapping).
+    for (const CPInfo &CP : NA.CPs) {
+      if (CP.Replicated)
+        continue;
+      Relation D = CP.CPMap.domain();
+      NA.BusyVP = NA.AnyBusy ? NA.BusyVP.unionWith(D) : D;
+      NA.AnyBusy = true;
+    }
+    if (NA.AnyBusy)
+      NA.BusyVP = NA.BusyVP.simplify().coalesce();
+
+    // 4. Loop splitting (Figure 4) decision and set computation.
+    unsigned NumGroups = NA.Groups.empty() ? 0 : NA.Groups.back() + 1;
+    bool AnyLive = false;
+    for (const EventPlan &EP : NA.Plans)
+      AnyLive |= EP.Communicates;
+    bool CanSplit = Opts.LoopSplitting && NumGroups == 1 && AnyLive &&
+                    !NA.CPs.empty() && !NA.CPs[0].Replicated && V == 0;
+    if (CanSplit) {
+      PhaseTimers::Scope S(NT, phase::LoopSplitting);
+      std::vector<SplitRef> SRefs;
+      std::map<std::string, Relation> MineCache;
+      auto LayoutMine = [&](const std::string &Array) {
+        auto It = MineCache.find(Array);
+        if (It != MineCache.end())
+          return It->second;
+        LayoutResult L = MB.layout(Array);
+        std::vector<std::string> Names;
+        for (unsigned D = 0; D != L.Map.numIn(); ++D)
+          Names.push_back(myDimParam(D));
+        Relation Mine = L.Map.bindDomainToParams(Names);
+        MineCache.emplace(Array, Mine);
+        return Mine;
+      };
+      for (const EventPlan &EP : NA.Plans) {
+        if (!EP.Communicates)
+          continue;
+        for (const CommRef &CR : EP.In.Refs)
+          SRefs.push_back({CR.RefMap, LayoutMine(EP.In.Array), CR.IsWrite});
+      }
+      NA.SS = computeLoopSplit(NA.GroupIters[0], SRefs);
+      NA.DoSplit = true;
+    }
+    return NA;
+  }
+
+  //===------------------------- nest compilation ------------------------===//
+
+  void compileNest(const ComputeNest &Nest, SpmdNode *Parent) {
+    assert(NextNestIdx < NestAnalyses.size() &&
+           "nest collection out of sync with compilePhase");
+    NestAnalysis &NA = NestAnalyses[NextNestIdx++];
+    const std::vector<CPInfo> &CPs = NA.CPs;
+    const std::vector<unsigned> &Groups = NA.Groups;
+    const std::vector<Relation> &GroupIters = NA.GroupIters;
+
+    for (const CPInfo &CP : CPs)
+      noteProcInfo(CP);
+
+    for (const Statement &St : Nest.Stmts)
+      compileStmt(St, Nest);
+
+    unsigned V = std::min<unsigned>(Nest.VectorizeLevel, Nest.Loops.size());
+
     std::vector<EventPlan *> Live;
-    for (EventPlan &EP : Plans) {
+    for (EventPlan &EP : NA.Plans) {
       EP.EventId = emitEvent(EP);
       if (EP.EventId >= 0)
         Live.push_back(&EP);
@@ -481,19 +569,6 @@ private:
     for (const Loop &L : Nest.Loops)
       LoopVars.push_back(L.Var);
 
-    // The union of busy VPs across groups (for VP loop wrapping).
-    Relation BusyVP;
-    bool AnyBusy = false;
-    for (const CPInfo &CP : CPs) {
-      if (CP.Replicated)
-        continue;
-      Relation D = CP.CPMap.domain();
-      BusyVP = AnyBusy ? BusyVP.unionWith(D) : D;
-      AnyBusy = true;
-    }
-    if (AnyBusy)
-      BusyVP = BusyVP.simplify().coalesce();
-
     auto AddCompute = [&](const std::vector<cg::StmtInstance> &SIs,
                           const std::string &Tag) {
       bool AllEmpty = true;
@@ -503,8 +578,8 @@ private:
       if (AllEmpty)
         return;
       cg::AstPtr Ast = timedCodegen(phase::BoundsReduction, SIs, LoopVars);
-      if (AnyBusy)
-        Ast = wrapVPLoops(std::move(Ast), BusyVP);
+      if (NA.AnyBusy)
+        Ast = wrapVPLoops(std::move(Ast), NA.BusyVP);
       auto N = SpmdNode::make(SpmdNode::Kind::Compute);
       N->Loops = std::move(Ast);
       N->NestName = Nest.Name + Tag;
@@ -516,36 +591,11 @@ private:
       Container->Children.push_back(std::move(N));
     };
 
-    // 4. Loop splitting (Figure 4) or the straightforward schedule.
-    unsigned NumGroups = Groups.empty() ? 0 : Groups.back() + 1;
-    bool CanSplit = Opts.LoopSplitting && NumGroups == 1 && !Live.empty() &&
-                    !CPs.empty() && !CPs[0].Replicated && V == 0;
-    if (CanSplit) {
-      SplitSets SS;
-      {
-        PhaseTimers::Scope S(*T, phase::LoopSplitting);
-        std::vector<SplitRef> SRefs;
-        std::map<std::string, Relation> MineCache;
-        auto LayoutMine = [&](const std::string &Array) {
-          auto It = MineCache.find(Array);
-          if (It != MineCache.end())
-            return It->second;
-          LayoutResult L = MB.layout(Array);
-          std::vector<std::string> Names;
-          for (unsigned D = 0; D != L.Map.numIn(); ++D)
-            Names.push_back(myDimParam(D));
-          Relation Mine = L.Map.bindDomainToParams(Names);
-          MineCache.emplace(Array, Mine);
-          return Mine;
-        };
-        for (EventPlan *EP : Live)
-          for (const CommRef &CR : EP->In.Refs)
-            SRefs.push_back(
-                {CR.RefMap, LayoutMine(EP->In.Array), CR.IsWrite});
-        SS = computeLoopSplit(GroupIters[0], SRefs);
-        ++Out->NumSplitNests;
-      }
-      std::vector<cg::StmtInstance> Stmts;
+    // Loop splitting (Figure 4) or the straightforward schedule. The split
+    // sets were computed during analysis; here we only emit the schedule.
+    if (NA.DoSplit) {
+      const SplitSets &SS = NA.SS;
+      ++Out->NumSplitNests;
       auto SectionStmts = [&](const Relation &Sec) {
         std::vector<cg::StmtInstance> R;
         for (const Statement &St : Nest.Stmts)
@@ -630,6 +680,7 @@ private:
 
 public:
   std::unique_ptr<CompileOutput> runImpl() {
+    pset::CacheStats CacheBefore = pset::OpCache::global().stats();
     PhaseTimers::Scope Total(*T, phase::Total);
     // Register program parameters up front so slots are stable.
     for (const std::string &Pr : P.params())
@@ -656,10 +707,54 @@ public:
           Scan(Ph, Summary[Proc.Name]);
     }
 
+    // Analyze all compute nests up front. Collection mirrors the order
+    // compilePhase visits nests (SeqLoop bodies recursed in place), so
+    // emission below consumes NestAnalyses strictly in order. The analyses
+    // are independent, so they can run on a thread pool; each task owns a
+    // private PhaseTimers merged here in nest order. Phase times then
+    // report summed per-nest work, which can exceed the wall-clock total
+    // when analysis runs in parallel.
+    {
+      std::vector<const ComputeNest *> Nests;
+      std::function<void(const Phase &)> Collect = [&](const Phase &Ph) {
+        if (Ph.K == Phase::Kind::Nest) {
+          Nests.push_back(&Ph.Nest);
+          return;
+        }
+        if (Ph.K == Phase::Kind::SeqLoop)
+          for (const Phase &Sub : Ph.Body)
+            Collect(Sub);
+      };
+      for (const Procedure &Proc : P.procedures())
+        for (const Phase &Ph : Proc.Phases)
+          Collect(Ph);
+
+      NestAnalyses.resize(Nests.size());
+      unsigned Threads = 1;
+      if (Opts.ParallelAnalysis)
+        Threads = Opts.AnalysisThreads ? Opts.AnalysisThreads
+                                       : ThreadPool::hardwareThreads();
+      Out->ThreadsUsed = Threads;
+      if (Threads > 1 && Nests.size() > 1) {
+        ThreadPool Pool(Threads);
+        Pool.parallelFor(Nests.size(), [&](size_t I) {
+          NestAnalyses[I] = analyzeNest(*Nests[I]);
+        });
+      } else {
+        for (size_t I = 0; I != Nests.size(); ++I)
+          NestAnalyses[I] = analyzeNest(*Nests[I]);
+      }
+      for (const NestAnalysis &NA : NestAnalyses)
+        T->merge(NA.Timers);
+    }
+
     SP->Root = SpmdNode::make(SpmdNode::Kind::Seq);
     for (const Procedure &Proc : P.procedures())
       for (const Phase &Ph : Proc.Phases)
         compilePhase(Ph, SP->Root.get());
+    assert(NextNestIdx == NestAnalyses.size() &&
+           "emission consumed a different nest set than analysis produced");
+    Out->Cache = pset::OpCache::global().stats() - CacheBefore;
     return std::move(Out);
   }
 };

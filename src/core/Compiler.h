@@ -28,6 +28,7 @@
 
 #include "cg/CodeGen.h"
 #include "hpf/Maps.h"
+#include "pset/OpCache.h"
 #include "spmd/SpmdProgram.h"
 #include "support/Timer.h"
 
@@ -48,6 +49,13 @@ struct CompilerOptions {
   /// Use the Section 5 formulation that combines DataAccessed before the
   /// per-reference equations (ablation: the naive per-reference form).
   bool CombinedFormulation = true;
+  /// Run the per-nest analyses (partitioning, communication equations,
+  /// loop splitting) on a thread pool. Emission stays sequential, so the
+  /// compiled program is identical for any thread count.
+  bool ParallelAnalysis = true;
+  /// Worker count for parallel analysis; 0 selects the hardware
+  /// concurrency. Ignored when ParallelAnalysis is off.
+  unsigned AnalysisThreads = 0;
   cg::CodeGenOptions CG;
 };
 
@@ -75,6 +83,11 @@ struct CompileOutput {
   unsigned NumRectSections = 0;
   unsigned NumSplitNests = 0;
   unsigned NodesRemovedByOpt = 0;
+  /// Set-operation cache and fast-path activity during this compile
+  /// (delta of the process-wide counters over the run).
+  pset::CacheStats Cache;
+  /// Number of analysis threads used (1 = sequential).
+  unsigned ThreadsUsed = 1;
 };
 
 /// True if set \p S provably equals the cross product of its per-dimension

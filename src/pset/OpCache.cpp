@@ -1,0 +1,109 @@
+//===- pset/OpCache.cpp - Memoization cache for set operations -----------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pset/OpCache.h"
+
+#include <cstdlib>
+
+using namespace dhpf;
+using namespace dhpf::pset;
+
+OpCache &OpCache::global() {
+  static OpCache C;
+  static bool EnvChecked = [] {
+    if (const char *Env = std::getenv("DHPF_PSET_CACHE"))
+      if (Env[0] == '0' && Env[1] == '\0')
+        C.setEnabled(false);
+    return true;
+  }();
+  (void)EnvChecked;
+  return C;
+}
+
+OpCache::OpCache(size_t Capacity)
+    : PerShardCapacity(Capacity / kNumShards ? Capacity / kNumShards : 1) {}
+
+bool OpCache::lookupImpl(const Key &K, Value &Out) {
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(K);
+  if (It == S.Map.end()) {
+    NMisses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
+  Out = It->second->second;
+  NHits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void OpCache::insertImpl(const Key &K, Value V) {
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(K);
+  if (It != S.Map.end()) {
+    // Another thread computed the same key first; results for equal keys
+    // are identical, so keep the existing entry.
+    S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
+    return;
+  }
+  S.LRU.emplace_front(K, std::move(V));
+  S.Map.emplace(K, S.LRU.begin());
+  while (S.LRU.size() > PerShardCapacity) {
+    S.Map.erase(S.LRU.back().first);
+    S.LRU.pop_back();
+    NEvictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool OpCache::lookup(Op O, uint64_t LhsFP, uint64_t RhsFP, Relation &Out) {
+  Value V;
+  if (!lookupImpl({static_cast<uint8_t>(O), LhsFP, RhsFP}, V))
+    return false;
+  Out = std::move(V.R);
+  return true;
+}
+
+void OpCache::insert(Op O, uint64_t LhsFP, uint64_t RhsFP,
+                     const Relation &R) {
+  Value V;
+  V.R = R;
+  insertImpl({static_cast<uint8_t>(O), LhsFP, RhsFP}, std::move(V));
+}
+
+bool OpCache::lookupBool(Op O, uint64_t LhsFP, bool &Out) {
+  Value V;
+  if (!lookupImpl({static_cast<uint8_t>(O), LhsFP, 0}, V))
+    return false;
+  Out = V.B;
+  return true;
+}
+
+void OpCache::insertBool(Op O, uint64_t LhsFP, bool B) {
+  Value V;
+  V.B = B;
+  insertImpl({static_cast<uint8_t>(O), LhsFP, 0}, std::move(V));
+}
+
+void OpCache::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.LRU.clear();
+    S.Map.clear();
+  }
+}
+
+CacheStats OpCache::stats() const {
+  CacheStats S;
+  S.Hits = NHits.load(std::memory_order_relaxed);
+  S.Misses = NMisses.load(std::memory_order_relaxed);
+  S.Evictions = NEvictions.load(std::memory_order_relaxed);
+  S.FastEmptyBBox = NFastEmpty.load(std::memory_order_relaxed);
+  S.FastDisjointBBox = NFastDisjoint.load(std::memory_order_relaxed);
+  S.FastSubsetFP = NFastSubset.load(std::memory_order_relaxed);
+  S.DupRowsRemoved = NDupRows.load(std::memory_order_relaxed);
+  return S;
+}

@@ -6,12 +6,70 @@
 
 #include "pset/Relation.h"
 
+#include "pset/Fingerprint.h"
 #include "pset/OmegaTest.h"
+#include "pset/OpCache.h"
 
 #include <algorithm>
 #include <sstream>
 
 using namespace dhpf;
+
+//===----------------------------------------------------------------------===//
+// Operation-cache plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename Fn>
+Relation cachedBinaryOp(pset::Op O, const Relation &A, const Relation &B,
+                        Fn Compute) {
+  pset::OpCache &C = pset::OpCache::global();
+  if (!C.enabled())
+    return Compute();
+  uint64_t FA = pset::fingerprint(A), FB = pset::fingerprint(B);
+  Relation R;
+  if (C.lookup(O, FA, FB, R))
+    return R;
+  R = Compute();
+  C.insert(O, FA, FB, R);
+  return R;
+}
+
+template <typename Fn>
+Relation cachedUnaryOp(pset::Op O, const Relation &A, Fn Compute) {
+  pset::OpCache &C = pset::OpCache::global();
+  if (!C.enabled())
+    return Compute();
+  uint64_t FA = pset::fingerprint(A);
+  Relation R;
+  if (C.lookup(O, FA, 0, R))
+    return R;
+  R = Compute();
+  C.insert(O, FA, 0, R);
+  return R;
+}
+
+/// True when the performance layer's cheap-reject fast paths are active
+/// (tied to the cache's global switch so DHPF_PSET_CACHE=0 restores the
+/// seed engine exactly).
+bool fastPathsOn() { return pset::OpCache::global().enabled(); }
+
+/// Drops rows that are exact syntactic duplicates (same kind, same
+/// coefficients); returns the number removed. Sound for any conjunct.
+unsigned dedupRowsSyntactic(Conjunct &C) {
+  std::vector<Row> &Rows = C.rows();
+  unsigned Removed = 0;
+  for (size_t I = 0; I < Rows.size(); ++I)
+    for (size_t J = Rows.size(); J-- > I + 1;)
+      if (Rows[J].IsEq == Rows[I].IsEq && Rows[J].Coef == Rows[I].Coef) {
+        Rows.erase(Rows.begin() + J);
+        ++Removed;
+      }
+  return Removed;
+}
+
+} // namespace
 
 Relation Relation::universe(Space S) {
   Relation R(std::move(S));
@@ -75,16 +133,42 @@ void Relation::alignPair(Relation &A, Relation &B) {
 //===----------------------------------------------------------------------===//
 
 Relation Relation::intersect(const Relation &O) const {
+  return cachedBinaryOp(pset::Op::Intersect, *this, O,
+                        [&] { return intersectImpl(O); });
+}
+
+Relation Relation::intersectImpl(const Relation &O) const {
   Relation A = *this, B = O;
   alignPair(A, B);
   assert(A.Sp.sameDims(B.Sp) && "intersect requires matching dimensions");
+  bool Fast = fastPathsOn();
+  // Cheap-reject: conjunct pairs with disjoint bounding boxes conjoin to
+  // an unsatisfiable conjunct; skip them without running the Omega test.
+  std::vector<pset::BBox> BoxA, BoxB;
+  if (Fast) {
+    BoxA.reserve(A.Conjs.size());
+    for (const Conjunct &CA : A.Conjs)
+      BoxA.push_back(pset::bboxOf(CA));
+    BoxB.reserve(B.Conjs.size());
+    for (const Conjunct &CB : B.Conjs)
+      BoxB.push_back(pset::bboxOf(CB));
+  }
   Relation R(A.Sp);
-  for (const Conjunct &CA : A.Conjs)
-    for (const Conjunct &CB : B.Conjs) {
-      Conjunct C = CA;
-      C.conjoin(CB);
+  unsigned Dups = 0;
+  for (unsigned I = 0; I != A.Conjs.size(); ++I)
+    for (unsigned J = 0; J != B.Conjs.size(); ++J) {
+      if (Fast && pset::bboxDisjoint(BoxA[I], BoxB[J])) {
+        pset::OpCache::global().noteFastDisjoint();
+        continue;
+      }
+      Conjunct C = A.Conjs[I];
+      C.conjoin(B.Conjs[J]);
+      if (Fast)
+        Dups += dedupRowsSyntactic(C);
       R.Conjs.push_back(std::move(C));
     }
+  if (Dups)
+    pset::OpCache::global().noteDupRows(Dups);
   return R;
 }
 
@@ -139,18 +223,28 @@ void addAtom(Conjunct &C, const NegAtom &A, int64_t Residue, bool Negated) {
 } // namespace
 
 Relation Relation::subtract(const Relation &O) const {
+  return cachedBinaryOp(pset::Op::Subtract, *this, O,
+                        [&] { return subtractImpl(O); });
+}
+
+Relation Relation::subtractImpl(const Relation &O) const {
   Relation A = *this, B = O;
   alignPair(A, B);
   assert(A.Sp.sameDims(B.Sp) && "subtract requires matching dimensions");
+  bool Fast = fastPathsOn();
 
   // Pre-expand each conjunct of B into atom lists: ordinary inequalities
   // (equalities become two) plus divisibility constraints from the
-  // normalized existential witnesses.
+  // normalized existential witnesses. Each list keeps the bounding box of
+  // its source conjunct for the disjointness cheap-reject below.
   std::vector<std::vector<NegAtom>> NegForms;
+  std::vector<pset::BBox> NegBoxes;
   for (const Conjunct &CB : B.Conjs) {
     for (Conjunct &Flat : omega::normalizeExists(CB)) {
       if (!Flat.normalize())
         continue; // unsatisfiable: subtracting nothing
+      if (Fast)
+        NegBoxes.push_back(pset::bboxOf(Flat));
       unsigned Base = Flat.numParams() + Flat.numIn() + Flat.numOut();
       std::vector<NegAtom> Atoms;
       for (const Row &R : Flat.rows()) {
@@ -196,7 +290,17 @@ Relation Relation::subtract(const Relation &O) const {
   Relation Res(A.Sp);
   for (const Conjunct &CA : A.Conjs) {
     std::vector<Conjunct> List = {CA};
-    for (const std::vector<NegAtom> &Atoms : NegForms) {
+    pset::BBox BoxA;
+    if (Fast)
+      BoxA = pset::bboxOf(CA);
+    for (unsigned FormIdx = 0; FormIdx != NegForms.size(); ++FormIdx) {
+      const std::vector<NegAtom> &Atoms = NegForms[FormIdx];
+      // Every element of List is a subset of CA; when CA's bounding box is
+      // disjoint from this subtrahend conjunct, X - CB = X for all of them.
+      if (Fast && pset::bboxDisjoint(BoxA, NegBoxes[FormIdx])) {
+        pset::OpCache::global().noteFastDisjoint();
+        continue;
+      }
       std::vector<Conjunct> Next;
       for (const Conjunct &C : List) {
         // C - conj(atoms) = union over j of (C && a_0..a_{j-1} && !a_j),
@@ -230,6 +334,11 @@ Relation Relation::subtract(const Relation &O) const {
 }
 
 Relation Relation::composeWith(const Relation &Next) const {
+  return cachedBinaryOp(pset::Op::Compose, *this, Next,
+                        [&] { return composeImpl(Next); });
+}
+
+Relation Relation::composeImpl(const Relation &Next) const {
   Relation A = *this, B = Next;
   alignPair(A, B);
   assert(A.numOut() == B.numIn() && "compose: intermediate dims must match");
@@ -453,10 +562,55 @@ Relation Relation::asSet() const {
 //===----------------------------------------------------------------------===//
 
 bool Relation::isEmpty() const {
-  for (const Conjunct &C : Conjs)
+  if (Conjs.empty())
+    return true;
+  pset::OpCache &C = pset::OpCache::global();
+  if (!C.enabled())
+    return isEmptyImpl();
+  uint64_t F = pset::fingerprint(*this);
+  bool V;
+  if (C.lookupBool(pset::Op::IsEmpty, F, V))
+    return V;
+  V = isEmptyImpl();
+  C.insertBool(pset::Op::IsEmpty, F, V);
+  return V;
+}
+
+bool Relation::isEmptyImpl() const {
+  bool Fast = fastPathsOn();
+  for (const Conjunct &C : Conjs) {
+    // Cheap-reject: a conjunct whose interval bounds contradict is
+    // unsatisfiable without the Omega test.
+    if (Fast && pset::bboxOf(C).ProvenEmpty) {
+      pset::OpCache::global().noteFastEmpty();
+      continue;
+    }
     if (omega::isSatisfiable(C))
       return false;
+  }
   return true;
+}
+
+bool Relation::isSubsetOf(const Relation &O) const {
+  pset::OpCache &C = pset::OpCache::global();
+  if (C.enabled() && pset::fingerprint(*this) == pset::fingerprint(O)) {
+    C.noteFastSubset();
+    return true;
+  }
+  return subtract(O).isEmpty();
+}
+
+bool Relation::isEqualTo(const Relation &O) const {
+  pset::OpCache &C = pset::OpCache::global();
+  if (C.enabled() && pset::fingerprint(*this) == pset::fingerprint(O)) {
+    C.noteFastSubset();
+    return true;
+  }
+  // Align the parameter lists once; subtract() sees identical parameter
+  // lists on both calls and skips its own re-alignment.
+  Relation A = *this, B = O;
+  alignPair(A, B);
+  return A.subtract(B).isEmpty() && B.subtract(A).isEmpty();
 }
 
 bool Relation::contains(const std::vector<int64_t> &Out,
@@ -680,10 +834,20 @@ Relation Relation::equateOutDimToParam(unsigned Dim,
 }
 
 Relation Relation::simplify() const {
+  return cachedUnaryOp(pset::Op::Simplify, *this,
+                       [&] { return simplifyImpl(); });
+}
+
+Relation Relation::simplifyImpl() const {
+  bool Fast = fastPathsOn();
   Relation R(Sp);
   for (Conjunct C : Conjs) {
     if (!C.normalize())
       continue;
+    if (Fast && pset::bboxOf(C).ProvenEmpty) {
+      pset::OpCache::global().noteFastEmpty();
+      continue;
+    }
     if (!omega::isSatisfiable(C))
       continue;
     omega::removeRedundantRows(C);
@@ -711,6 +875,11 @@ Relation Relation::simplify() const {
 }
 
 Relation Relation::coalesce() const {
+  return cachedUnaryOp(pset::Op::Coalesce, *this,
+                       [&] { return coalesceImpl(); });
+}
+
+Relation Relation::coalesceImpl() const {
   Relation R = simplify();
   // Remove conjuncts subsumed by another conjunct.
   std::vector<bool> Dead(R.Conjs.size(), false);

@@ -98,10 +98,12 @@ public:
   //===--------------------------------------------------------------------===
 
   bool isEmpty() const;
-  bool isSubsetOf(const Relation &O) const { return subtract(O).isEmpty(); }
-  bool isEqualTo(const Relation &O) const {
-    return isSubsetOf(O) && O.isSubsetOf(*this);
-  }
+  /// Subset test; short-circuits to true when the operands are
+  /// structurally identical (equal fingerprints).
+  bool isSubsetOf(const Relation &O) const;
+  /// Set equality; short-circuits via fingerprint equality and aligns the
+  /// parameter lists once for both containment directions.
+  bool isEqualTo(const Relation &O) const;
   /// Membership oracle: is (In -> Out) in the relation under the given
   /// parameter values? For sets pass the tuple as \p Out.
   bool contains(const std::vector<int64_t> &Out,
@@ -168,6 +170,16 @@ private:
 
   /// Aligns the parameter lists of A and B by name (union of both lists).
   static void alignPair(Relation &A, Relation &B);
+
+  // Uncached operation bodies. The public entry points consult the global
+  // pset::OpCache (pset/OpCache.h) and fall through to these on a miss;
+  // with the cache disabled they are called directly.
+  Relation intersectImpl(const Relation &O) const;
+  Relation subtractImpl(const Relation &O) const;
+  Relation composeImpl(const Relation &Next) const;
+  Relation simplifyImpl() const;
+  Relation coalesceImpl() const;
+  bool isEmptyImpl() const;
 };
 
 /// Parses the textual relation syntax (see pset/Parser.cpp for the

@@ -1,0 +1,133 @@
+//===- support/ThreadPool.h - Small fixed-size worker pool ---------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the compiler driver to run
+/// independent per-nest analyses (partitioning, communication equations,
+/// loop splitting) concurrently. The pool is explicit — constructed by its
+/// owner, joined in the destructor, no globals — per the repo's
+/// no-static-constructor rule. Work is submitted through parallelFor, which
+/// hands out indices from an atomic counter so callers keep results in
+/// deterministic index order regardless of scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_SUPPORT_THREADPOOL_H
+#define DHPF_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dhpf {
+
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers (0 selects hardwareThreads()).
+  explicit ThreadPool(unsigned NumThreads = 0) {
+    if (NumThreads == 0)
+      NumThreads = hardwareThreads();
+    Workers.reserve(NumThreads);
+    for (unsigned I = 0; I != NumThreads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopping = true;
+    }
+    CV.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return Workers.size(); }
+
+  /// Runs Fn(0) .. Fn(N-1) across the pool and the calling thread; returns
+  /// when all calls finished. Indices are claimed from an atomic counter,
+  /// so every index runs exactly once. Fn must not throw.
+  template <typename Fn> void parallelFor(size_t N, Fn &&F) {
+    if (N == 0)
+      return;
+    auto State = std::make_shared<ForState>();
+    State->N = N;
+    auto Work = [State, &F] {
+      for (size_t I = State->Next.fetch_add(1, std::memory_order_relaxed);
+           I < State->N;
+           I = State->Next.fetch_add(1, std::memory_order_relaxed))
+        F(I);
+    };
+    size_t Helpers = Workers.size() < N ? Workers.size() : N;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      for (size_t I = 0; I != Helpers; ++I)
+        Tasks.push([State, Work] {
+          Work();
+          if (State->Active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> DoneLock(State->DoneM);
+            State->DoneCV.notify_all();
+          }
+        });
+      State->Active.store(Helpers, std::memory_order_relaxed);
+    }
+    CV.notify_all();
+    // The calling thread participates too (and does all the work when the
+    // pool is size zero or fully busy).
+    Work();
+    std::unique_lock<std::mutex> DoneLock(State->DoneM);
+    State->DoneCV.wait(DoneLock, [&] {
+      return State->Active.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// The host's hardware concurrency, at least 1.
+  static unsigned hardwareThreads() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+private:
+  struct ForState {
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Active{0};
+    size_t N = 0;
+    std::mutex DoneM;
+    std::condition_variable DoneCV;
+  };
+
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        CV.wait(Lock, [&] { return Stopping || !Tasks.empty(); });
+        if (Stopping && Tasks.empty())
+          return;
+        Task = std::move(Tasks.front());
+        Tasks.pop();
+      }
+      Task();
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex M;
+  std::condition_variable CV;
+  bool Stopping = false;
+};
+
+} // namespace dhpf
+
+#endif // DHPF_SUPPORT_THREADPOOL_H

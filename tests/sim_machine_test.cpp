@@ -124,7 +124,7 @@ TEST(Timers, ScopeChargesElapsed) {
   PhaseTimers T;
   {
     PhaseTimers::Scope S(T, "scoped");
-    volatile int X = 0;
+    volatile long long X = 0;
     for (int I = 0; I != 100000; ++I)
       X = X + I;
     (void)X;
