@@ -1,0 +1,177 @@
+//===- bench/bench_spmd_exec.cpp - SPMD execution-engine benchmark -------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// Measures the wall-clock time of executing the compiled Figure 7 codes
+// under the tree-walking interpreter versus the bytecode engine
+// (ExecPlan.h): load-time lowering to register-machine bytecode, zero-copy
+// message packing for contiguous (Section 3.3) transfers, cached
+// communication lists, and parallel processor ranks. Both engines produce
+// bit-identical results (tests/spmd_exec_diff_test.cpp); this benchmark
+// reports the price of the tree walk.
+//
+//   bench_spmd_exec [--quick] [--check] [--out=FILE]
+//
+// --quick shrinks the problem sizes (CI mode), --check exits nonzero if
+// the bytecode engine is slower than the tree on any app, --out sets the
+// JSON report path (default BENCH_spmd_exec.json).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/Compiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dhpf;
+using namespace dhpf::apps;
+using namespace dhpf::core;
+using namespace dhpf::spmd;
+
+namespace {
+
+struct Measurement {
+  std::string Name;
+  std::vector<int64_t> Procs;
+  double TreeSecs = 0;
+  double ByteSeqSecs = 0; ///< bytecode, 1 execution thread
+  double ByteParSecs = 0; ///< bytecode, hardware threads
+  uint64_t StmtInstances = 0;
+  uint64_t Messages = 0;
+  bool Valid = true;
+};
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+/// One timed execution, including engine setup (the bytecode engine lowers
+/// the program at load time; that cost is part of what is measured).
+double timedRun(const CompileOutput &Compiled, const AppInstance &App,
+                const std::vector<int64_t> &Procs, EngineKind Engine,
+                unsigned Threads, Measurement &M) {
+  RunConfig RC;
+  RC.ProcExtents = {{App.ProcArrayName, Procs}};
+  RC.Engine = Engine;
+  RC.ExecThreads = Threads;
+  double T0 = now();
+  Interpreter I(Compiled.Program, RC);
+  App.Setup(I);
+  RunResult RR = I.run();
+  double Secs = now() - T0;
+  M.StmtInstances = RR.StmtInstances;
+  M.Messages = RR.Messages;
+  M.Valid = M.Valid && RR.Valid;
+  if (!RR.Valid)
+    std::fprintf(stderr, "VALIDITY FAILURE %s: %s\n", App.Name.c_str(),
+                 RR.Violations.empty() ? "?" : RR.Violations[0].c_str());
+  return Secs;
+}
+
+Measurement benchApp(AppInstance App, const std::vector<int64_t> &Procs,
+                     int Reps) {
+  auto Compiled = compileProgram(*App.Prog);
+  Measurement M;
+  M.Name = App.Name;
+  M.Procs = Procs;
+  auto Best = [&](EngineKind E, unsigned Threads) {
+    double B = 1e30;
+    for (int R = 0; R != Reps; ++R)
+      B = std::min(B, timedRun(*Compiled, App, Procs, E, Threads, M));
+    return B;
+  };
+  M.TreeSecs = Best(EngineKind::Tree, 1);
+  M.ByteSeqSecs = Best(EngineKind::Bytecode, 1);
+  M.ByteParSecs = Best(EngineKind::Bytecode, 0); // auto: hardware threads
+  return M;
+}
+
+void writeJson(const char *Path, const std::vector<Measurement> &Ms) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"spmd_exec\",\n  \"apps\": [\n");
+  for (size_t I = 0; I != Ms.size(); ++I) {
+    const Measurement &M = Ms[I];
+    std::fprintf(F, "    {\n      \"name\": \"%s\",\n      \"procs\": [",
+                 M.Name.c_str());
+    for (size_t P = 0; P != M.Procs.size(); ++P)
+      std::fprintf(F, "%s%lld", P ? ", " : "",
+                   static_cast<long long>(M.Procs[P]));
+    std::fprintf(F, "],\n");
+    std::fprintf(F, "      \"tree_s\": %.6f,\n", M.TreeSecs);
+    std::fprintf(F, "      \"bytecode_seq_s\": %.6f,\n", M.ByteSeqSecs);
+    std::fprintf(F, "      \"bytecode_par_s\": %.6f,\n", M.ByteParSecs);
+    std::fprintf(F, "      \"speedup_seq\": %.3f,\n",
+                 M.ByteSeqSecs > 0 ? M.TreeSecs / M.ByteSeqSecs : 0.0);
+    std::fprintf(F, "      \"speedup_par\": %.3f,\n",
+                 M.ByteParSecs > 0 ? M.TreeSecs / M.ByteParSecs : 0.0);
+    std::fprintf(F, "      \"stmt_instances\": %llu,\n",
+                 static_cast<unsigned long long>(M.StmtInstances));
+    std::fprintf(F, "      \"messages\": %llu,\n",
+                 static_cast<unsigned long long>(M.Messages));
+    std::fprintf(F, "      \"valid\": %s\n    }%s\n", M.Valid ? "true"
+                                                             : "false",
+                 I + 1 != Ms.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false, Check = false;
+  const char *Out = "BENCH_spmd_exec.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strcmp(argv[I], "--check") == 0)
+      Check = true;
+    else if (std::strncmp(argv[I], "--out=", 6) == 0)
+      Out = argv[I] + 6;
+  }
+  int Reps = Quick ? 2 : 3;
+
+  std::printf("== SPMD execution engines: tree interpreter vs bytecode ==\n");
+  std::vector<Measurement> Ms;
+  if (Quick) {
+    Ms.push_back(benchApp(makeJacobi(96, 4), {2, 2}, Reps));
+    Ms.push_back(benchApp(makeTomcatv(98, 3), {4}, Reps));
+    Ms.push_back(benchApp(makeErlebacher(24, 2), {4}, Reps));
+    Ms.push_back(benchApp(makeGauss(48), {2, 2}, Reps));
+  } else {
+    Ms.push_back(benchApp(makeJacobi(256, 5), {2, 2}, Reps));
+    Ms.push_back(benchApp(makeTomcatv(258, 3), {4}, Reps));
+    Ms.push_back(benchApp(makeErlebacher(48, 2), {4}, Reps));
+    Ms.push_back(benchApp(makeGauss(96), {2, 2}, Reps));
+  }
+
+  std::printf("  %-14s | %10s | %12s | %12s | %8s | %8s\n", "app", "tree",
+              "bytecode(1t)", "bytecode(par)", "x (1t)", "x (par)");
+  bool Ok = true;
+  for (const Measurement &M : Ms) {
+    std::printf("  %-14s | %9.3fs | %11.3fs | %12.3fs | %7.2fx | %7.2fx\n",
+                M.Name.c_str(), M.TreeSecs, M.ByteSeqSecs, M.ByteParSecs,
+                M.TreeSecs / M.ByteSeqSecs, M.TreeSecs / M.ByteParSecs);
+    if (!M.Valid)
+      Ok = false;
+    if (Check && M.ByteParSecs > M.TreeSecs && M.ByteSeqSecs > M.TreeSecs) {
+      std::fprintf(stderr,
+                   "CHECK FAILURE: bytecode slower than tree on %s\n",
+                   M.Name.c_str());
+      Ok = false;
+    }
+  }
+  writeJson(Out, Ms);
+  std::printf("wrote %s\n", Out);
+  return Ok ? 0 : 1;
+}

@@ -87,6 +87,9 @@ public:
     SP = &Out->Program;
     T = &Out->Timers;
     SP->Source = &P;
+    // Hand the interpreter the synthesized Section 3.3 runtime check (the
+    // spmd library cannot link this analysis code directly).
+    SP->InPlaceRuntimeCheck = &checkInPlaceAtRuntime;
   }
 
   std::unique_ptr<CompileOutput> run();

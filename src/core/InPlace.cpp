@@ -108,18 +108,22 @@ bool core::checkInPlaceAtRuntime(
     return true;
   if (R.Verdict == InPlaceVerdict::NotContiguous)
     return false;
-  // Bind every parameter; the predicates are then decided exactly (this is
-  // the synthesized runtime check of Section 3.3).
+  // Bind the available parameters; the predicates are then decided exactly
+  // when everything is bound (this is the synthesized runtime check of
+  // Section 3.3). Parameters absent from \p Bindings — per-partner
+  // coordinates (qp*), the representative processor (mv*) — stay symbolic,
+  // so the test remains a sound approximation: it claims contiguity only
+  // when proven for every value of the unbound parameters.
   std::map<std::string, int64_t> CBind, ABind;
   for (const std::string &P : R.CommSet.space().params()) {
     auto It = Bindings.find(P);
-    assert(It != Bindings.end() && "unbound parameter in runtime check");
-    CBind[P] = It->second;
+    if (It != Bindings.end())
+      CBind[P] = It->second;
   }
   for (const std::string &P : R.ArraySet.space().params()) {
     auto It = Bindings.find(P);
-    assert(It != Bindings.end() && "unbound parameter in runtime check");
-    ABind[P] = It->second;
+    if (It != Bindings.end())
+      ABind[P] = It->second;
   }
   int SplitDim = -1;
   return testContiguity(R.CommSet.bindParams(CBind),

@@ -64,8 +64,11 @@ InPlaceResult analyzeInPlace(const Relation &CommSet,
 InPlaceResult analyzeInPlaceSections(const Relation &CommSet,
                                      const Relation &ArraySet);
 
-/// The runtime check: the same predicates with all parameters bound (now
-/// decided exactly). Returns true when the transfer is contiguous.
+/// The runtime check: the same predicates with the available parameters
+/// bound (decided exactly when every parameter is bound). Parameters
+/// missing from \p Bindings stay symbolic and the test stays sound —
+/// contiguity is claimed only when proven for all their values. Returns
+/// true when the transfer is contiguous.
 bool checkInPlaceAtRuntime(const InPlaceResult &R,
                            const std::map<std::string, int64_t> &Bindings);
 

@@ -6,8 +6,12 @@
 
 #include "spmd/Interp.h"
 
+#include "spmd/ExecPlan.h"
 #include "support/MathExtras.h"
+#include "support/ThreadPool.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <set>
 
@@ -78,9 +82,51 @@ Interpreter::Interpreter(const SpmdProgram &ProgIn, RunConfig ConfigIn)
                     .layoutBindings(Config.Params, Config.ProcExtents);
   setupArrays();
   setupEnvs();
+  setupInPlace();
   Overlay.resize(NumProcs);
   Pending.resize(NumProcs);
   Accums.resize(NumProcs);
+  if (resolveEngine(Config.Engine) == EngineKind::Bytecode) {
+    unsigned T = Config.ExecThreads;
+    if (T == 0) {
+      if (const char *S = std::getenv("DHPF_SPMD_THREADS")) {
+        long V = std::strtol(S, nullptr, 10);
+        T = V > 0 ? static_cast<unsigned>(V) : 1;
+      } else {
+        T = ThreadPool::hardwareThreads();
+      }
+    }
+    Exec = std::make_unique<PlanExecutor>(Prog, *this, T);
+  }
+}
+
+Interpreter::~Interpreter() = default;
+
+EngineKind Interpreter::resolveEngine(EngineKind E) {
+  if (E != EngineKind::Auto)
+    return E;
+  const char *S = std::getenv("DHPF_SPMD_ENGINE");
+  if (S && std::strcmp(S, "tree") == 0)
+    return EngineKind::Tree;
+  return EngineKind::Bytecode;
+}
+
+void Interpreter::setupInPlace() {
+  EventInPlace.assign(Prog.Events.size(), 0);
+  for (unsigned EI = 0; EI != Prog.Events.size(); ++EI) {
+    const CommEvent &Ev = Prog.Events[EI];
+    bool InPlace = Ev.InPlaceProven;
+    // The synthesized Section 3.3 runtime check: an undecided compile-time
+    // verdict may become contiguous under this run's concrete bindings.
+    // Both engines consult the same flags, so simulated pack costs agree.
+    if (!InPlace && Prog.InPlaceRuntimeCheck &&
+        Ev.InPlace.Verdict == core::InPlaceVerdict::RuntimeCheck &&
+        Prog.InPlaceRuntimeCheck(Ev.InPlace, AllBindings)) {
+      InPlace = true;
+      ++Result.InPlaceRuntimeUpgrades;
+    }
+    EventInPlace[EI] = InPlace ? 1 : 0;
+  }
 }
 
 void Interpreter::setSemantics(int Id, StmtFn Fn) {
@@ -307,9 +353,8 @@ void Interpreter::violation(const std::string &Msg) {
     Result.Violations.push_back(Msg);
 }
 
-double Interpreter::readElem(unsigned P, const std::string &Array,
-                             int64_t Flat) {
-  ArrayStore &A = Arrays.at(Array);
+double Interpreter::readElem(unsigned P, ArrayStore &A,
+                             const std::string &Array, int64_t Flat) {
   if (A.Owner.empty() || A.Owner[Flat] == static_cast<int32_t>(P) ||
       A.Owner[Flat] < 0)
     return A.at(Flat);
@@ -327,9 +372,9 @@ double Interpreter::readElem(unsigned P, const std::string &Array,
   return A.at(Flat);
 }
 
-void Interpreter::writeElem(unsigned P, const std::string &Array,
-                            int64_t Flat, double V) {
-  ArrayStore &A = Arrays.at(Array);
+void Interpreter::writeElem(unsigned P, ArrayStore &A,
+                            const std::string &Array, int64_t Flat,
+                            double V) {
   if (A.Owner.empty() || A.Owner[Flat] == static_cast<int32_t>(P) ||
       A.Owner[Flat] < 0) {
     A.at(Flat) = V;
@@ -347,11 +392,12 @@ void Interpreter::execCompute(const SpmdNode &N) {
                   const CompiledStmt &S = Prog.Stmts[Leaf];
                   Reads.clear();
                   for (const CompiledStmt::Read &Rd : S.Reads) {
+                    ArrayStore &RA = Arrays.at(Rd.Array);
                     std::vector<int64_t> Idx;
                     for (const cg::Expr &Sub : Rd.Subs)
                       Idx.push_back(Sub.eval(E));
                     Reads.push_back(
-                        readElem(P, Rd.Array, Arrays.at(Rd.Array).flatten(Idx)));
+                        readElem(P, RA, Rd.Array, RA.flatten(Idx)));
                   }
                   auto SemIt = Semantics.find(S.SemanticsId);
                   assert(SemIt != Semantics.end() &&
@@ -360,8 +406,8 @@ void Interpreter::execCompute(const SpmdNode &N) {
                   WIdx.clear();
                   for (const cg::Expr &Sub : S.WriteSubs)
                     WIdx.push_back(Sub.eval(E));
-                  writeElem(P, S.WriteArray,
-                            Arrays.at(S.WriteArray).flatten(WIdx), V);
+                  ArrayStore &WA = Arrays.at(S.WriteArray);
+                  writeElem(P, WA, S.WriteArray, WA.flatten(WIdx), V);
                   Mach.addCompute(P, S.Cost);
                   ++Result.StmtInstances;
                 });
@@ -371,7 +417,9 @@ void Interpreter::execCompute(const SpmdNode &N) {
 void Interpreter::execSend(const SpmdNode &N) {
   const CommEvent &Ev = Prog.Events[N.EventId];
   ArrayStore &A = Arrays.at(Ev.Array);
+  bool InPlace = EventInPlace[N.EventId] != 0;
   for (unsigned P = 0; P != NumProcs; ++P) {
+    auto &Pd = Pending[P][Ev.Array];
     // Ordered per-partner element lists (deduplicated: union conjuncts in
     // the comm sets may overlap).
     std::vector<unsigned> PartnerOrder;
@@ -400,7 +448,6 @@ void Interpreter::execSend(const SpmdNode &N) {
                       A.Owner[Flat] < 0) {
                     V = A.at(Flat); // forwarding data I own (read comm)
                   } else {
-                    auto &Pd = Pending[P][Ev.Array];
                     auto It = Pd.find(Flat);
                     if (It == Pd.end()) {
                       violation("proc " + std::to_string(P) +
@@ -416,7 +463,7 @@ void Interpreter::execSend(const SpmdNode &N) {
     for (unsigned Q : PartnerOrder) {
       auto &Items = Msgs[Q];
       uint64_t Bytes = Items.size() * A.elemBytes();
-      uint64_t PackBytes = Ev.InPlaceProven ? 0 : Bytes;
+      uint64_t PackBytes = InPlace ? 0 : Bytes;
       Mach.send(P, Q, static_cast<uint64_t>(Ev.Id), Bytes, PackBytes);
       Payloads[{P, Q, Ev.Id}].push(std::move(Items));
     }
@@ -426,7 +473,9 @@ void Interpreter::execSend(const SpmdNode &N) {
 void Interpreter::execRecv(const SpmdNode &N) {
   const CommEvent &Ev = Prog.Events[N.EventId];
   ArrayStore &A = Arrays.at(Ev.Array);
+  bool InPlace = EventInPlace[N.EventId] != 0;
   for (unsigned P = 0; P != NumProcs; ++P) {
+    auto &Ov = Overlay[P][Ev.Array];
     std::vector<unsigned> PartnerOrder;
     std::map<unsigned, std::vector<int64_t>> Expect;
     std::map<unsigned, std::set<int64_t>> Seen;
@@ -464,7 +513,7 @@ void Interpreter::execRecv(const SpmdNode &N) {
       if (PIt->second.empty())
         Payloads.erase(PIt);
       Mach.recv(Q, P, static_cast<uint64_t>(Ev.Id),
-                Ev.InPlaceProven ? 0 : Items.size() * A.elemBytes());
+                InPlace ? 0 : Items.size() * A.elemBytes());
       std::unordered_map<int64_t, double> Got(Items.begin(), Items.end());
       if (Got.size() != Flats.size())
         violation("message size mismatch for event " + std::to_string(Ev.Id) +
@@ -480,7 +529,7 @@ void Interpreter::execRecv(const SpmdNode &N) {
         if (!A.Owner.empty() && A.Owner[F] == static_cast<int32_t>(P))
           A.at(F) = It->second; // a remote write reaching its owner
         else
-          Overlay[P][Ev.Array][F] = It->second;
+          Ov[F] = It->second;
       }
     }
   }
@@ -490,13 +539,15 @@ void Interpreter::execReduce(const SpmdNode &N) {
   double Combined = N.RedOp == SpmdNode::ReduceOp::Max
                         ? -std::numeric_limits<double>::infinity()
                         : 0.0;
+  std::vector<double *> Slot(NumProcs);
   for (unsigned P = 0; P != NumProcs; ++P) {
-    double V = Accums[P][N.RedName];
+    double &V = Accums[P][N.RedName];
+    Slot[P] = &V;
     Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, V)
                                                   : Combined + V;
   }
   for (unsigned P = 0; P != NumProcs; ++P)
-    Accums[P][N.RedName] = Combined;
+    *Slot[P] = Combined;
   Mach.allReduce(N.RedBytes);
   Mach.addCompute(0, N.RedCost);
   Result.FinalAccums[N.RedName] = Combined;
@@ -534,6 +585,8 @@ void Interpreter::execNode(const SpmdNode &N) {
 }
 
 RunResult Interpreter::run() {
+  if (Exec)
+    return Exec->run();
   execNode(*Prog.Root);
   if (!Payloads.empty())
     violation("unconsumed messages remain (send/recv sets are not dual)");

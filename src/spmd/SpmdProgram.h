@@ -24,6 +24,7 @@
 #include "core/InPlace.h"
 #include "hpf/Maps.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -112,6 +113,15 @@ struct SpmdProgram {
   /// mc* slots: the physical coordinate of the executing processor per
   /// dimension (used by VP loop bounds, Figure 6).
   std::vector<unsigned> CoordSlots;
+
+  /// The Section 3.3 runtime contiguity check, injected by the compiler
+  /// driver (this library cannot link the analysis code directly). Given an
+  /// event's retained in-place analysis and the run's concrete bindings,
+  /// returns true when the transfer is contiguous; null when the producer
+  /// supplies no check, in which case undecided verdicts stay packed.
+  bool (*InPlaceRuntimeCheck)(const core::InPlaceResult &,
+                              const std::map<std::string, int64_t> &) =
+      nullptr;
 
   /// Pretty-prints the node program (loops as pseudo-Fortran).
   std::string print() const;
