@@ -1,0 +1,74 @@
+//===- apps/Registry.cpp - Named benchmark registry for dhpfc ------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Registry.h"
+
+namespace dhpf {
+namespace apps {
+
+namespace {
+
+// Canonical sizes match tests/apps_test.cpp, so the exported examples are
+// the exact programs the suite validates.
+AppInstance makeJacobiCanonical() { return makeJacobi(16, 3); }
+AppInstance makeTomcatvCanonical() { return makeTomcatv(18, 3); }
+AppInstance makeErlebacherCanonical() { return makeErlebacher(10, 2); }
+AppInstance makeGaussCanonical() { return makeGauss(12); }
+
+std::vector<int64_t> shape2Rows(int64_t P) {
+  if (P <= 0)
+    return {};
+  if (P == 1)
+    return {1, 1};
+  if (P % 2 == 0)
+    return {2, P / 2};
+  return {1, P};
+}
+
+std::vector<int64_t> shape1D(int64_t P) {
+  if (P <= 0)
+    return {};
+  return {P};
+}
+
+std::vector<int64_t> shapeNearSquare(int64_t P) {
+  if (P <= 0)
+    return {};
+  int64_t A = 1;
+  for (int64_t D = 1; D * D <= P; ++D)
+    if (P % D == 0)
+      A = D;
+  return {A, P / A};
+}
+
+} // namespace
+
+const std::vector<RegistryEntry> &appRegistry() {
+  static const std::vector<RegistryEntry> Entries = {
+      {"jacobi", "4-point stencil, (BLOCK,BLOCK) on 2 x (P/2) (Figure 7(c))",
+       &makeJacobiCanonical, &shape2Rows},
+      {"tomcatv", "mesh-generation stencils, (BLOCK,*) rows (Figure 7(a))",
+       &makeTomcatvCanonical, &shape1D},
+      {"erlebacher",
+       "3-D compact differencing, (*,*,BLOCK) pipelined z solve "
+       "(Figure 7(b))",
+       &makeErlebacherCanonical, &shape1D},
+      {"gauss", "LU-style elimination, (CYCLIC,CYCLIC) symbolic grid "
+                "(Figure 5)",
+       &makeGaussCanonical, &shapeNearSquare},
+  };
+  return Entries;
+}
+
+const RegistryEntry *findApp(const std::string &Name) {
+  for (const RegistryEntry &E : appRegistry())
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+} // namespace apps
+} // namespace dhpf

@@ -1,27 +1,23 @@
-//===- core/Compiler.cpp - The dHPF-style compiler driver ----------------===//
+//===- core/Compiler.cpp - Compatibility entry point ---------------------===//
 //
 // Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The compiler proper lives in the pass pipeline (core/CompilerDriver.cpp,
+// core/Passes.cpp, core/EmitPass.cpp); this file keeps the historical
+// compileProgram entry point as a thin wrapper over the driver, plus the
+// rectangular-section query shared by the analysis and its tests.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
 
-#include "core/Comm.h"
-#include "core/InPlace.h"
-#include "core/LoopSplit.h"
-#include "core/Partition.h"
-#include "support/ThreadPool.h"
-
-#include <algorithm>
-#include <map>
-#include <set>
+#include "core/CompilerDriver.h"
 
 using namespace dhpf;
 using namespace dhpf::core;
 using namespace dhpf::hpf;
-using spmd::CompiledStmt;
-using spmd::SpmdNode;
-using spmd::SpmdProgram;
 
 bool core::isRectSectionProven(const Relation &S) {
   assert(S.isSet());
@@ -53,721 +49,8 @@ bool core::isRectSectionProven(const Relation &S) {
   return Cand.isSubsetOf(S);
 }
 
-namespace {
-
-/// One planned communication event during nest compilation.
-struct EventPlan {
-  CommEventInput In;
-  CommSets CS;
-  bool IsWrite = false;
-  bool Communicates = false;
-  int EventId = -1;
-};
-
-/// Everything about one compute nest that can be derived without touching
-/// shared compiler state. Produced by Driver::analyzeNest — possibly on a
-/// worker thread — and consumed sequentially during emission, so the
-/// compiled program is independent of the analysis schedule.
-struct NestAnalysis {
-  std::vector<CPInfo> CPs;
-  std::vector<unsigned> Groups;
-  std::vector<Relation> GroupIters; // per group, bound to mv*
-  std::vector<EventPlan> Plans;
-  Relation BusyVP;
-  bool AnyBusy = false;
-  bool DoSplit = false;
-  SplitSets SS;
-  PhaseTimers Timers;
-};
-
-class Driver {
-public:
-  Driver(const Program &P, CompilerOptions Opts)
-      : P(P), Opts(Opts), MB(P), Out(std::make_unique<CompileOutput>()) {
-    SP = &Out->Program;
-    T = &Out->Timers;
-    SP->Source = &P;
-    // Hand the interpreter the synthesized Section 3.3 runtime check (the
-    // spmd library cannot link this analysis code directly).
-    SP->InPlaceRuntimeCheck = &checkInPlaceAtRuntime;
-  }
-
-  std::unique_ptr<CompileOutput> run();
-
-private:
-  const Program &P;
-  CompilerOptions Opts;
-  MapBuilder MB;
-  std::unique_ptr<CompileOutput> Out;
-  SpmdProgram *SP;
-  PhaseTimers *T;
-  bool ProcInfoSet = false;
-  /// Per-nest analyses in the order compilePhase visits nests; emission
-  /// consumes them through NextNestIdx.
-  std::vector<NestAnalysis> NestAnalyses;
-  size_t NextNestIdx = 0;
-
-  //===------------------------- small helpers ---------------------------===//
-
-  void noteProcInfo(const CPInfo &CP) {
-    if (CP.Replicated)
-      return;
-    if (!ProcInfoSet) {
-      SP->ProcName = CP.ProcName;
-      SP->ProcDims = CP.Dims;
-      for (unsigned D = 0; D != CP.Dims.size(); ++D) {
-        SP->MySlots.push_back(SP->Vars.slot(myDimParam(D)));
-        SP->CoordSlots.push_back(SP->Vars.slot("mc" + std::to_string(D)));
-      }
-      ProcInfoSet = true;
-      return;
-    }
-    assert(SP->ProcName == CP.ProcName &&
-           "a program must use a single processor array");
-  }
-
-  cg::Expr affineToExpr(const AffineExpr &E,
-                        const std::map<std::string, std::string>
-                            *Renames = nullptr) {
-    cg::Expr R = cg::Expr::constant(E.K);
-    for (auto &[Name, Coef] : E.Terms) {
-      std::string N = Name;
-      if (Renames) {
-        auto It = Renames->find(Name);
-        if (It != Renames->end())
-          N = It->second;
-      }
-      unsigned S = SP->Vars.slot(N);
-      R = cg::Expr::add(R, cg::Expr::mul(cg::Expr::var(S, N), Coef));
-    }
-    return R;
-  }
-
-  /// Codegen wrapper that attributes time to \p Phase and to the MM-codegen
-  /// total, then runs the generated-code optimization pass.
-  cg::AstPtr timedCodegen(const char *Phase,
-                          const std::vector<cg::StmtInstance> &Stmts,
-                          const std::vector<std::string> &LoopVars,
-                          const Relation *Known = nullptr) {
-    cg::AstPtr Ast;
-    double Secs;
-    {
-      auto Start = std::chrono::steady_clock::now();
-      cg::CodeGen CG(SP->Vars, Opts.CG);
-      Ast = CG.codegen(Stmts, LoopVars, Known);
-      Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           Start)
-                 .count();
-    }
-    T->add(Phase, Secs);
-    T->add(phase::MMCodegen, Secs);
-    {
-      PhaseTimers::Scope S(*T, phase::OptGenerated);
-      Out->NodesRemovedByOpt += cg::optimizeAst(Ast);
-    }
-    return Ast;
-  }
-
-  /// Like timedCodegen, but one nest per conjunct (used for communication
-  /// sets, which are sparse unions; the interpreter deduplicates overlap).
-  cg::AstPtr timedCodegenPerConjunct(const char *Phase, const Relation &S,
-                                     const std::vector<std::string> &Vars,
-                                     const std::string &Label) {
-    cg::AstPtr Ast;
-    double Secs;
-    {
-      auto Start = std::chrono::steady_clock::now();
-      cg::CodeGen CG(SP->Vars, Opts.CG);
-      Ast = CG.codegenSetPerConjunct(S, Vars, 0, Label);
-      Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           Start)
-                 .count();
-    }
-    T->add(Phase, Secs);
-    T->add(phase::MMCodegen, Secs);
-    {
-      PhaseTimers::Scope Sc(*T, phase::OptGenerated);
-      Out->NodesRemovedByOpt += cg::optimizeAst(Ast);
-    }
-    return Ast;
-  }
-
-  /// Extracts hull bounds of a 1-D set by generating a scan loop for it.
-  std::pair<cg::Expr, cg::Expr> bounds1D(const Relation &S) {
-    cg::CodeGen CG(SP->Vars, Opts.CG);
-    cg::AstPtr Ast = CG.codegenSet(S, {"__bnd"});
-    const cg::AstNode *N = Ast.get();
-    while (N && N->K != cg::AstNode::Kind::Loop)
-      N = N->Children.empty() ? nullptr : N->Children.front().get();
-    if (!N)
-      return {cg::Expr::constant(1), cg::Expr::constant(0)}; // empty
-    return {N->LB, N->UB};
-  }
-
-  cg::Expr procExtentExpr(unsigned D) {
-    const VPDimInfo &Info = SP->ProcDims[D];
-    if (!Info.ProcSym.empty())
-      return cg::Expr::var(SP->Vars.slot(Info.ProcSym), Info.ProcSym);
-    return cg::Expr::constant(Info.ProcFixed);
-  }
-
-  /// Wraps \p Body in virtual-processor loops (Figure 6): for each
-  /// cyclic-virtualized dimension, a loop over the VPs of this physical
-  /// processor restricted to \p VPSet's hull in that dimension.
-  cg::AstPtr wrapVPLoops(cg::AstPtr Body, const Relation &VPSet) {
-    if (!ProcInfoSet)
-      return Body;
-    for (int D = static_cast<int>(SP->ProcDims.size()) - 1; D >= 0; --D) {
-      const VPDimInfo &Info = SP->ProcDims[D];
-      if (!Info.Virtualized || Info.Kind == DistSpec::Kind::Block)
-        continue;
-      auto [LB, UB] = bounds1D(VPSet.projectOntoDim(D));
-      cg::Expr Coord = cg::Expr::var(SP->CoordSlots[D],
-                                     SP->Vars.name(SP->CoordSlots[D]));
-      cg::Expr Base, Step;
-      if (Info.Kind == DistSpec::Kind::Cyclic) {
-        Base = cg::Expr::add(cg::Expr::constant(Info.TmplLo), Coord);
-        Step = procExtentExpr(D);
-      } else { // CyclicK
-        Base = cg::Expr::add(cg::Expr::constant(Info.TmplLo),
-                             cg::Expr::mul(Coord, Info.CyclicK));
-        Step = cg::Expr::mul(procExtentExpr(D), Info.CyclicK);
-      }
-      // Smallest v >= LB with v ≡ Base (mod Step):
-      //   v0 = LB + ((Base - LB) mod Step).
-      cg::Expr Aligned = cg::Expr::add(
-          LB, cg::Expr::modExpr(cg::Expr::sub(Base, LB), Step));
-      cg::AstPtr Loop = cg::AstNode::loop(
-          SP->Vars.name(SP->MySlots[D]), SP->MySlots[D], Aligned, UB, Step);
-      Loop->Children.push_back(std::move(Body));
-      Body = std::move(Loop);
-    }
-    return Body;
-  }
-
-  /// Figure 6's "do not communicate with fictitious virtual processors",
-  /// applied at code-generation time: partner loops over block- and
-  /// cyclic(k)-virtualized dimensions advance by the block size, starting
-  /// at the first real VP (a block start) at or above the loop's bound.
-  void stridePartnerLoops(cg::AstNode &N,
-                          const std::vector<unsigned> &PartnerSlots) {
-    if (N.K == cg::AstNode::Kind::Loop) {
-      for (unsigned D = 0; D != SP->ProcDims.size() &&
-                           D != PartnerSlots.size();
-           ++D) {
-        if (N.VarSlot != PartnerSlots[D])
-          continue;
-        const VPDimInfo &Info = SP->ProcDims[D];
-        if (!Info.Virtualized)
-          break;
-        cg::Expr Step;
-        if (Info.Kind == DistSpec::Kind::Block)
-          Step = cg::Expr::var(SP->Vars.slot(Info.BlockParam),
-                               Info.BlockParam);
-        else if (Info.Kind == DistSpec::Kind::CyclicK)
-          Step = cg::Expr::constant(Info.CyclicK);
-        else
-          break; // cyclic: every template cell is a real VP
-        // First block start >= LB: LB + ((TmplLo - LB) mod Step).
-        N.LB = cg::Expr::add(
-            N.LB, cg::Expr::modExpr(
-                      cg::Expr::sub(cg::Expr::constant(Info.TmplLo), N.LB),
-                      Step));
-        N.Step = Step;
-        break;
-      }
-    }
-    for (cg::AstPtr &C : N.Children)
-      stridePartnerLoops(*C, PartnerSlots);
-  }
-
-  //===--------------------------- statements ----------------------------===//
-
-  int compileStmt(const Statement &S, const ComputeNest &Nest) {
-    if (SP->Stmts.size() <= static_cast<size_t>(S.Id))
-      SP->Stmts.resize(S.Id + 1);
-    CompiledStmt CS;
-    CS.Id = S.Id;
-    CS.WriteArray = S.Write.Array;
-    for (const AffineExpr &E : S.Write.Subs)
-      CS.WriteSubs.push_back(affineToExpr(E));
-    for (const Reference &R : S.Reads) {
-      CompiledStmt::Read Rd;
-      Rd.Array = R.Array;
-      for (const AffineExpr &E : R.Subs)
-        Rd.Subs.push_back(affineToExpr(E));
-      CS.Reads.push_back(std::move(Rd));
-    }
-    CS.Cost = S.Cost;
-    CS.SemanticsId = S.SemanticsId;
-    CS.Label = Nest.Name + "/S" + std::to_string(S.Id);
-    SP->Stmts[S.Id] = std::move(CS);
-    return S.Id;
-  }
-
-  //===------------------------ communication ----------------------------===//
-
-  /// Builds the compiled event (send/recv loops, contiguity checks) and
-  /// registers it; returns its id, or -1 when there is no communication.
-  int emitEvent(EventPlan &Plan) {
-    const CommSets &CS = Plan.CS;
-    // Plan.Communicates was decided during nest analysis: the event
-    // communicates iff some processor accesses non-local data.
-    if (!Plan.Communicates)
-      return -1;
-
-    spmd::CommEvent Ev;
-    Ev.Id = SP->Events.size();
-    Ev.Array = Plan.In.Array;
-    unsigned PR = CS.SendCommMap.numIn();
-    unsigned ER = CS.SendCommMap.numOut();
-    std::vector<std::string> Vars;
-    for (unsigned I = 0; I != PR; ++I) {
-      std::string N = "q" + std::to_string(I);
-      Vars.push_back(N);
-      Ev.PartnerSlots.push_back(SP->Vars.slot(N));
-    }
-    for (unsigned I = 0; I != ER; ++I) {
-      std::string N = "x" + std::to_string(I);
-      Vars.push_back(N);
-      Ev.ElemSlots.push_back(SP->Vars.slot(N));
-    }
-    {
-      PhaseTimers::Scope S(*T, phase::CommGeneration);
-      Ev.SendLoops = timedCodegenPerConjunct(
-          phase::CommLoops, CS.SendCommMap.asSet(), Vars, "pack");
-      Ev.RecvLoops = timedCodegenPerConjunct(
-          phase::CommLoops, CS.RecvCommMap.asSet(), Vars, "unpack");
-      if (ProcInfoSet) {
-        stridePartnerLoops(*Ev.SendLoops, Ev.PartnerSlots);
-        stridePartnerLoops(*Ev.RecvLoops, Ev.PartnerSlots);
-      }
-      // Restrict to the active virtual processors (Figure 5/6).
-      if (!CS.ActiveSendVPSet.conjuncts().empty())
-        Ev.SendLoops =
-            wrapVPLoops(std::move(Ev.SendLoops), CS.ActiveSendVPSet);
-      if (!CS.ActiveRecvVPSet.conjuncts().empty())
-        Ev.RecvLoops =
-            wrapVPLoops(std::move(Ev.RecvLoops), CS.ActiveRecvVPSet);
-    }
-    if (Opts.InPlaceAnalysis) {
-      // The per-partner message section: partners become parameters.
-      std::vector<std::string> QP;
-      for (unsigned I = 0; I != PR; ++I)
-        QP.push_back("qp" + std::to_string(I));
-      Relation PerPartner =
-          CS.RecvCommMap.bindDomainToParams(QP).simplify().coalesce();
-      {
-        PhaseTimers::Scope S(*T, phase::ContigCheck);
-        Ev.InPlace =
-            analyzeInPlaceSections(PerPartner, MB.dataSet(Plan.In.Array));
-        Ev.InPlaceProven = Ev.InPlace.Verdict == InPlaceVerdict::Contiguous;
-        if (Ev.InPlaceProven)
-          ++Out->NumContiguousProven;
-      }
-      {
-        // Rectangular-section check: like the paper's contiguity test,
-        // applied to single-conjunct sections only (cost control).
-        PhaseTimers::Scope S(*T, phase::RectCheck);
-        if (PerPartner.conjuncts().size() <= 1 &&
-            isRectSectionProven(PerPartner))
-          ++Out->NumRectSections;
-      }
-    }
-    ++Out->NumCommEvents;
-    SP->Events.push_back(std::move(Ev));
-    return SP->Events.back().Id;
-  }
-
-  //===------------------------- nest analysis ---------------------------===//
-
-  /// Runs every per-nest analysis that does not need shared compiler state:
-  /// partitioning, statement grouping, the Figure 3/5 communication
-  /// equations, the busy-VP union, and the Figure 4 loop split. Writes only
-  /// to the returned NestAnalysis (including its private PhaseTimers), so
-  /// independent nests can be analyzed concurrently.
-  NestAnalysis analyzeNest(const ComputeNest &Nest) const {
-    NestAnalysis NA;
-    PhaseTimers &NT = NA.Timers;
-
-    // 1. Computation partitioning.
-    {
-      PhaseTimers::Scope S(NT, phase::Partitioning);
-      for (const Statement &St : Nest.Stmts)
-        NA.CPs.push_back(computeCP(MB, Nest, St));
-      NA.Groups = groupStatements(NA.CPs);
-      unsigned NumGroups = NA.Groups.empty() ? 0 : NA.Groups.back() + 1;
-      NA.GroupIters.resize(NumGroups);
-      for (unsigned I = 0; I != Nest.Stmts.size(); ++I)
-        if (NA.GroupIters[NA.Groups[I]].conjuncts().empty())
-          NA.GroupIters[NA.Groups[I]] =
-              cpIterSet(MB, Nest, NA.CPs[I]).simplify().coalesce();
-    }
-
-    unsigned V = std::min<unsigned>(Nest.VectorizeLevel, Nest.Loops.size());
-
-    // 2. Plan communication events: (array, direction) keyed, coalescing
-    // same-direction references when enabled.
-    {
-      PhaseTimers::Scope S(NT, phase::CommEquations);
-      std::map<std::pair<std::string, bool>, unsigned> Index;
-      auto AddRef = [&](const std::string &Array, const CommRef &CR,
-                        bool IsWrite) {
-        std::pair<std::string, bool> Key = {Array, IsWrite};
-        if (!Opts.Coalescing ||
-            Index.find(Key) == Index.end()) {
-          EventPlan EP;
-          EP.In.Array = Array;
-          EP.In.PlacementLevel = V;
-          for (const Loop &L : Nest.Loops)
-            EP.In.LoopVars.push_back(L.Var);
-          EP.IsWrite = IsWrite;
-          if (Opts.Coalescing)
-            Index[Key] = NA.Plans.size();
-          NA.Plans.push_back(std::move(EP));
-          NA.Plans.back().In.Refs.push_back(CR);
-          return;
-        }
-        NA.Plans[Index[Key]].In.Refs.push_back(CR);
-      };
-      for (unsigned I = 0; I != Nest.Stmts.size(); ++I) {
-        const Statement &St = Nest.Stmts[I];
-        const CPInfo &CP = NA.CPs[I];
-        for (const Reference &R : St.Reads) {
-          if (!P.alignOf(R.Array))
-            continue; // replicated array: always local
-          CommRef CR;
-          CR.ReplicatedCP = CP.Replicated;
-          if (!CP.Replicated)
-            CR.CPMap = CP.CPMap;
-          CR.RefMap = MB.refMap(Nest, R);
-          CR.IsWrite = false;
-          AddRef(R.Array, CR, false);
-        }
-        // Writes communicate only under non-owner-computes CPs.
-        if (!CP.Replicated && !St.OnHome.empty() &&
-            P.alignOf(St.Write.Array)) {
-          CommRef CR;
-          CR.CPMap = CP.CPMap;
-          CR.RefMap = MB.refMap(Nest, St.Write);
-          CR.IsWrite = true;
-          AddRef(St.Write.Array, CR, true);
-        }
-      }
-    }
-    // Run the Figure 3 / Figure 5 equations per plan.
-    {
-      PhaseTimers::Scope S(NT, phase::CommEquations);
-      for (EventPlan &EP : NA.Plans)
-        EP.CS = computeCommSets(MB, EP.In, Opts.CombinedFormulation);
-    }
-    // The event communicates iff some processor accesses non-local data.
-    // (Testing the Send/Recv maps instead would keep spurious events alive
-    // under the VP model, where fictitious virtual processors "access"
-    // overlapping intervals.)
-    {
-      PhaseTimers::Scope S(NT, phase::CommGeneration);
-      for (EventPlan &EP : NA.Plans)
-        EP.Communicates = !((EP.CS.NLReadData.conjuncts().empty() ||
-                             EP.CS.NLReadData.isEmpty()) &&
-                            (EP.CS.NLWriteData.conjuncts().empty() ||
-                             EP.CS.NLWriteData.isEmpty()));
-    }
-
-    // 3. The union of busy VPs across groups (for VP loop wrapping).
-    for (const CPInfo &CP : NA.CPs) {
-      if (CP.Replicated)
-        continue;
-      Relation D = CP.CPMap.domain();
-      NA.BusyVP = NA.AnyBusy ? NA.BusyVP.unionWith(D) : D;
-      NA.AnyBusy = true;
-    }
-    if (NA.AnyBusy)
-      NA.BusyVP = NA.BusyVP.simplify().coalesce();
-
-    // 4. Loop splitting (Figure 4) decision and set computation.
-    unsigned NumGroups = NA.Groups.empty() ? 0 : NA.Groups.back() + 1;
-    bool AnyLive = false;
-    for (const EventPlan &EP : NA.Plans)
-      AnyLive |= EP.Communicates;
-    bool CanSplit = Opts.LoopSplitting && NumGroups == 1 && AnyLive &&
-                    !NA.CPs.empty() && !NA.CPs[0].Replicated && V == 0;
-    if (CanSplit) {
-      PhaseTimers::Scope S(NT, phase::LoopSplitting);
-      std::vector<SplitRef> SRefs;
-      std::map<std::string, Relation> MineCache;
-      auto LayoutMine = [&](const std::string &Array) {
-        auto It = MineCache.find(Array);
-        if (It != MineCache.end())
-          return It->second;
-        LayoutResult L = MB.layout(Array);
-        std::vector<std::string> Names;
-        for (unsigned D = 0; D != L.Map.numIn(); ++D)
-          Names.push_back(myDimParam(D));
-        Relation Mine = L.Map.bindDomainToParams(Names);
-        MineCache.emplace(Array, Mine);
-        return Mine;
-      };
-      for (const EventPlan &EP : NA.Plans) {
-        if (!EP.Communicates)
-          continue;
-        for (const CommRef &CR : EP.In.Refs)
-          SRefs.push_back({CR.RefMap, LayoutMine(EP.In.Array), CR.IsWrite});
-      }
-      NA.SS = computeLoopSplit(NA.GroupIters[0], SRefs);
-      NA.DoSplit = true;
-    }
-    return NA;
-  }
-
-  //===------------------------- nest compilation ------------------------===//
-
-  void compileNest(const ComputeNest &Nest, SpmdNode *Parent) {
-    assert(NextNestIdx < NestAnalyses.size() &&
-           "nest collection out of sync with compilePhase");
-    NestAnalysis &NA = NestAnalyses[NextNestIdx++];
-    const std::vector<CPInfo> &CPs = NA.CPs;
-    const std::vector<unsigned> &Groups = NA.Groups;
-    const std::vector<Relation> &GroupIters = NA.GroupIters;
-
-    for (const CPInfo &CP : CPs)
-      noteProcInfo(CP);
-
-    for (const Statement &St : Nest.Stmts)
-      compileStmt(St, Nest);
-
-    unsigned V = std::min<unsigned>(Nest.VectorizeLevel, Nest.Loops.size());
-
-    std::vector<EventPlan *> Live;
-    for (EventPlan &EP : NA.Plans) {
-      EP.EventId = emitEvent(EP);
-      if (EP.EventId >= 0)
-        Live.push_back(&EP);
-    }
-
-    // 3. Placement loops (partial vectorization): communication and the
-    // nest body live inside sequential J loops over the outer dimensions.
-    SpmdNode *Container = Parent;
-    std::map<std::string, std::string> Renames;
-    for (unsigned L = 0; L != V; ++L) {
-      auto TL = SpmdNode::make(SpmdNode::Kind::TimeLoop);
-      TL->SeqVar = placementParam(L);
-      TL->SeqSlot = SP->Vars.slot(TL->SeqVar);
-      TL->SeqLo = affineToExpr(Nest.Loops[L].Lo, &Renames);
-      TL->SeqHi = affineToExpr(Nest.Loops[L].Hi, &Renames);
-      Renames[Nest.Loops[L].Var] = placementParam(L);
-      SpmdNode *Raw = TL.get();
-      Container->Children.push_back(std::move(TL));
-      Container = Raw;
-    }
-
-    // Restrict statement iteration sets to the placement parameters.
-    auto PlaceRestrict = [&](Relation S) {
-      for (unsigned L = 0; L != V; ++L)
-        S = S.equateOutDimToParam(L, placementParam(L));
-      return S;
-    };
-
-    std::vector<std::string> LoopVars;
-    for (const Loop &L : Nest.Loops)
-      LoopVars.push_back(L.Var);
-
-    auto AddCompute = [&](const std::vector<cg::StmtInstance> &SIs,
-                          const std::string &Tag) {
-      bool AllEmpty = true;
-      for (const cg::StmtInstance &SI : SIs)
-        if (!SI.Iters.conjuncts().empty() && !SI.Iters.isEmpty())
-          AllEmpty = false;
-      if (AllEmpty)
-        return;
-      cg::AstPtr Ast = timedCodegen(phase::BoundsReduction, SIs, LoopVars);
-      if (NA.AnyBusy)
-        Ast = wrapVPLoops(std::move(Ast), NA.BusyVP);
-      auto N = SpmdNode::make(SpmdNode::Kind::Compute);
-      N->Loops = std::move(Ast);
-      N->NestName = Nest.Name + Tag;
-      Container->Children.push_back(std::move(N));
-    };
-    auto AddComm = [&](SpmdNode::Kind K, int EventId) {
-      auto N = SpmdNode::make(K);
-      N->EventId = EventId;
-      Container->Children.push_back(std::move(N));
-    };
-
-    // Loop splitting (Figure 4) or the straightforward schedule. The split
-    // sets were computed during analysis; here we only emit the schedule.
-    if (NA.DoSplit) {
-      const SplitSets &SS = NA.SS;
-      ++Out->NumSplitNests;
-      auto SectionStmts = [&](const Relation &Sec) {
-        std::vector<cg::StmtInstance> R;
-        for (const Statement &St : Nest.Stmts)
-          R.push_back({St.Id, SP->Stmts[St.Id].Label, Sec});
-        return R;
-      };
-      // Figure 4(b) schedule.
-      for (EventPlan *EP : Live)
-        if (!EP->IsWrite)
-          AddComm(SpmdNode::Kind::Send, EP->EventId);
-      AddCompute(SectionStmts(SS.NLWOIters), "/nlwo");
-      AddCompute(SectionStmts(SS.LocalIters), "/local");
-      for (EventPlan *EP : Live)
-        if (!EP->IsWrite)
-          AddComm(SpmdNode::Kind::Recv, EP->EventId);
-      AddCompute(SectionStmts(SS.NLROIters.unionWith(SS.NLRWIters)),
-                 "/nonlocal");
-      for (EventPlan *EP : Live)
-        if (EP->IsWrite)
-          AddComm(SpmdNode::Kind::Send, EP->EventId);
-      for (EventPlan *EP : Live)
-        if (EP->IsWrite)
-          AddComm(SpmdNode::Kind::Recv, EP->EventId);
-      return;
-    }
-
-    // Straightforward schedule: read comm, compute, write comm.
-    for (EventPlan *EP : Live)
-      if (!EP->IsWrite)
-        AddComm(SpmdNode::Kind::Send, EP->EventId);
-    for (EventPlan *EP : Live)
-      if (!EP->IsWrite)
-        AddComm(SpmdNode::Kind::Recv, EP->EventId);
-    std::vector<cg::StmtInstance> SIs;
-    for (unsigned I = 0; I != Nest.Stmts.size(); ++I) {
-      const Statement &St = Nest.Stmts[I];
-      SIs.push_back({St.Id, SP->Stmts[St.Id].Label,
-                     PlaceRestrict(GroupIters[Groups[I]])});
-    }
-    AddCompute(SIs, "");
-    for (EventPlan *EP : Live)
-      if (EP->IsWrite)
-        AddComm(SpmdNode::Kind::Send, EP->EventId);
-    for (EventPlan *EP : Live)
-      if (EP->IsWrite)
-        AddComm(SpmdNode::Kind::Recv, EP->EventId);
-  }
-
-  //===----------------------- phases and procedures ---------------------===//
-
-  void compilePhase(const Phase &Ph, SpmdNode *Parent) {
-    switch (Ph.K) {
-    case Phase::Kind::Nest:
-      compileNest(Ph.Nest, Parent);
-      break;
-    case Phase::Kind::Reduce: {
-      auto N = SpmdNode::make(SpmdNode::Kind::Reduce);
-      N->RedOp = Ph.Reduce.O == Reduction::Op::Sum
-                     ? SpmdNode::ReduceOp::Sum
-                     : SpmdNode::ReduceOp::Max;
-      N->RedName = Ph.Reduce.Name;
-      N->RedBytes = Ph.Reduce.Elems * 8 *
-                    (Ph.Reduce.O == Reduction::Op::MaxLoc ? 2 : 1);
-      N->RedCost = Ph.Reduce.Cost;
-      Parent->Children.push_back(std::move(N));
-      break;
-    }
-    case Phase::Kind::SeqLoop: {
-      auto N = SpmdNode::make(SpmdNode::Kind::TimeLoop);
-      N->SeqVar = Ph.SeqVar;
-      N->SeqSlot = SP->Vars.slot(Ph.SeqVar);
-      N->SeqLo = cg::Expr::constant(1);
-      N->SeqHi = cg::Expr::constant(Ph.SeqCount);
-      SpmdNode *Raw = N.get();
-      Parent->Children.push_back(std::move(N));
-      for (const Phase &Sub : Ph.Body)
-        compilePhase(Sub, Raw);
-      break;
-    }
-    }
-  }
-
-public:
-  std::unique_ptr<CompileOutput> runImpl() {
-    pset::CacheStats CacheBefore = pset::OpCache::global().stats();
-    PhaseTimers::Scope Total(*T, phase::Total);
-    // Register program parameters up front so slots are stable.
-    for (const std::string &Pr : P.params())
-      SP->Vars.slot(Pr);
-
-    // "Interprocedural analysis": per-procedure array access summaries.
-    {
-      PhaseTimers::Scope S(*T, phase::Interproc);
-      std::map<std::string, std::set<std::string>> Summary;
-      std::function<void(const Phase &, std::set<std::string> &)> Scan =
-          [&](const Phase &Ph, std::set<std::string> &Acc) {
-            if (Ph.K == Phase::Kind::Nest) {
-              for (const Statement &St : Ph.Nest.Stmts) {
-                Acc.insert(St.Write.Array);
-                for (const Reference &R : St.Reads)
-                  Acc.insert(R.Array);
-              }
-            }
-            for (const Phase &Sub : Ph.Body)
-              Scan(Sub, Acc);
-          };
-      for (const Procedure &Proc : P.procedures())
-        for (const Phase &Ph : Proc.Phases)
-          Scan(Ph, Summary[Proc.Name]);
-    }
-
-    // Analyze all compute nests up front. Collection mirrors the order
-    // compilePhase visits nests (SeqLoop bodies recursed in place), so
-    // emission below consumes NestAnalyses strictly in order. The analyses
-    // are independent, so they can run on a thread pool; each task owns a
-    // private PhaseTimers merged here in nest order. Phase times then
-    // report summed per-nest work, which can exceed the wall-clock total
-    // when analysis runs in parallel.
-    {
-      std::vector<const ComputeNest *> Nests;
-      std::function<void(const Phase &)> Collect = [&](const Phase &Ph) {
-        if (Ph.K == Phase::Kind::Nest) {
-          Nests.push_back(&Ph.Nest);
-          return;
-        }
-        if (Ph.K == Phase::Kind::SeqLoop)
-          for (const Phase &Sub : Ph.Body)
-            Collect(Sub);
-      };
-      for (const Procedure &Proc : P.procedures())
-        for (const Phase &Ph : Proc.Phases)
-          Collect(Ph);
-
-      NestAnalyses.resize(Nests.size());
-      unsigned Threads = 1;
-      if (Opts.ParallelAnalysis)
-        Threads = Opts.AnalysisThreads ? Opts.AnalysisThreads
-                                       : ThreadPool::hardwareThreads();
-      Out->ThreadsUsed = Threads;
-      if (Threads > 1 && Nests.size() > 1) {
-        ThreadPool Pool(Threads);
-        Pool.parallelFor(Nests.size(), [&](size_t I) {
-          NestAnalyses[I] = analyzeNest(*Nests[I]);
-        });
-      } else {
-        for (size_t I = 0; I != Nests.size(); ++I)
-          NestAnalyses[I] = analyzeNest(*Nests[I]);
-      }
-      for (const NestAnalysis &NA : NestAnalyses)
-        T->merge(NA.Timers);
-    }
-
-    SP->Root = SpmdNode::make(SpmdNode::Kind::Seq);
-    for (const Procedure &Proc : P.procedures())
-      for (const Phase &Ph : Proc.Phases)
-        compilePhase(Ph, SP->Root.get());
-    assert(NextNestIdx == NestAnalyses.size() &&
-           "emission consumed a different nest set than analysis produced");
-    Out->Cache = pset::OpCache::global().stats() - CacheBefore;
-    return std::move(Out);
-  }
-};
-
-} // namespace
-
-std::unique_ptr<CompileOutput> Driver::run() { return runImpl(); }
-
 std::unique_ptr<CompileOutput> core::compileProgram(const Program &P,
                                                     CompilerOptions Opts) {
-  Driver D(P, Opts);
+  CompilerDriver D(P, std::move(Opts));
   return D.run();
 }

@@ -32,7 +32,9 @@
 #include "spmd/SpmdProgram.h"
 #include "support/Timer.h"
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 
 namespace dhpf {
 namespace core {
@@ -56,6 +58,11 @@ struct CompilerOptions {
   /// Worker count for parallel analysis; 0 selects the hardware
   /// concurrency. Ignored when ParallelAnalysis is off.
   unsigned AnalysisThreads = 0;
+  /// Comma-separated pass names (or "all") whose state is dumped right
+  /// after they run; empty disables dumping. See CompilerDriver.
+  std::string DumpAfter;
+  /// Destination for -dump-after output; null means stderr.
+  std::ostream *DumpStream = nullptr;
   cg::CodeGenOptions CG;
 };
 

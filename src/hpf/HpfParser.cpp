@@ -2,12 +2,18 @@
 //
 // Part of dhpf-sets (PLDI 1998 dHPF reproduction).
 //
+// Error handling: every malformed-input condition reports a diagnostic with
+// the offending file:line:col and throws ParseFailure, which the per-line
+// dispatch loop catches to resynchronize at the next line. Nothing here
+// relies on assert(), so Debug and Release builds reject input identically.
+//
 //===----------------------------------------------------------------------===//
 
 #include "hpf/HpfParser.h"
 
-#include <cassert>
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <vector>
 
@@ -16,11 +22,24 @@ using namespace dhpf::hpf;
 
 namespace {
 
+/// Thrown on a malformed line after the diagnostic is reported; caught by
+/// the per-line dispatch loop, which resynchronizes at the next line.
+struct ParseFailure {};
+
 /// A trivial token scanner over one line.
 class LineLexer {
 public:
-  LineLexer(const std::string &Line, unsigned LineNo)
-      : S(Line), LineNo(LineNo) {}
+  LineLexer(const std::string &Line, DiagnosticEngine &Diags,
+            const std::string &File, unsigned LineNo)
+      : S(Line), Diags(Diags), File(File), LineNo(LineNo) {}
+
+  SourceLoc loc() const {
+    return SourceLoc(File, LineNo, static_cast<unsigned>(Pos) + 1);
+  }
+  [[noreturn]] void fail(const std::string &Msg) {
+    Diags.error(loc(), Msg);
+    throw ParseFailure();
+  }
 
   void skipWs() {
     while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
@@ -41,10 +60,8 @@ public:
     return true;
   }
   void expect(char C) {
-    bool OK = tryConsume(C);
-    assert(OK && "hpf parse error: unexpected character");
-    (void)OK;
-    (void)LineNo;
+    if (!tryConsume(C))
+      fail(std::string("expected '") + C + "'");
   }
   bool atIdent() {
     skipWs();
@@ -53,7 +70,8 @@ public:
   }
   std::string ident() {
     skipWs();
-    assert(atIdent() && "hpf parse error: expected identifier");
+    if (!atIdent())
+      fail("expected identifier");
     size_t B = Pos;
     while (Pos < S.size() &&
            (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_'))
@@ -66,11 +84,32 @@ public:
   }
   int64_t number() {
     skipWs();
-    assert(atNumber() && "hpf parse error: expected number");
+    if (!atNumber())
+      fail("expected number");
     int64_t V = 0;
-    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+    unsigned Digits = 0;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos]))) {
+      if (++Digits > 18)
+        fail("integer literal too large");
       V = V * 10 + (S[Pos++] - '0');
+    }
     return V;
+  }
+  /// A non-negative decimal number, optionally with a fraction (costs).
+  double real() {
+    skipWs();
+    if (!atNumber())
+      fail("expected number");
+    size_t B = Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    return std::strtod(S.substr(B, Pos - B).c_str(), nullptr);
   }
   /// Lookahead for a keyword followed by a non-identifier character.
   bool tryKeyword(const std::string &KW) {
@@ -120,32 +159,52 @@ private:
 
   const std::string &S;
   size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  const std::string &File;
   unsigned LineNo;
 };
 
 class HpfParser {
 public:
-  explicit HpfParser(const std::string &Text) : Text(Text) {}
+  HpfParser(const std::string &Text, DiagnosticEngine &Diags,
+            const std::string &File)
+      : Text(Text), Diags(Diags), File(File) {}
 
-  std::unique_ptr<Program> parse() {
+  Expected<std::unique_ptr<Program>> parse() {
+    unsigned ErrorsBefore = Diags.errorCount();
     std::istringstream In(Text);
     std::string Line;
     unsigned LineNo = 0;
     while (std::getline(In, Line)) {
       ++LineNo;
-      LineLexer L(Line, LineNo);
+      LineLexer L(Line, Diags, File, LineNo);
       if (L.atEnd())
         continue;
-      dispatch(L);
+      try {
+        dispatch(L);
+        if (!L.atEnd())
+          L.fail("unexpected trailing input");
+      } catch (ParseFailure &) {
+        // Reported; resynchronize at the next line.
+      }
     }
-    assert(Prog && "hpf parse error: missing 'program' line");
-    assert(!InNest && !InProc && SeqStack.empty() &&
-           "hpf parse error: unterminated block");
+    if (!Prog)
+      Diags.error(SourceLoc(File), "missing 'program' line");
+    else if (InNest)
+      Diags.error(SourceLoc(File, LineNo), "unterminated 'nest' block");
+    else if (!SeqStack.empty())
+      Diags.error(SourceLoc(File, LineNo), "unterminated 'timeloop' block");
+    else if (InProc)
+      Diags.error(SourceLoc(File, LineNo), "unterminated 'procedure' block");
+    if (Diags.errorCount() != ErrorsBefore)
+      return Expected<std::unique_ptr<Program>>::failure();
     return std::move(Prog);
   }
 
 private:
   const std::string &Text;
+  DiagnosticEngine &Diags;
+  const std::string &File;
   std::unique_ptr<Program> Prog;
   Procedure *CurProc = nullptr;
   std::vector<Phase *> SeqStack; // open timeloops
@@ -154,11 +213,13 @@ private:
 
   void dispatch(LineLexer &L) {
     if (L.tryKeyword("program")) {
-      assert(!Prog && "duplicate 'program'");
+      if (Prog)
+        L.fail("duplicate 'program' line");
       Prog = std::make_unique<Program>(L.ident());
       return;
     }
-    assert(Prog && "hpf parse error: 'program' must come first");
+    if (!Prog)
+      L.fail("'program' must come first");
     if (L.tryKeyword("param")) {
       while (L.atIdent())
         Prog->addParam(L.ident());
@@ -185,7 +246,11 @@ private:
     }
     if (L.tryKeyword("array")) {
       std::string Name = L.ident();
-      Prog->addArray(Name, parseRanges(L));
+      std::vector<DimRange> Dims = parseRanges(L);
+      unsigned ElemBytes = 8;
+      if (L.tryKeyword("bytes"))
+        ElemBytes = static_cast<unsigned>(L.number());
+      Prog->addArray(Name, std::move(Dims), ElemBytes);
       if (L.tryKeyword("align")) {
         // align (i,j,...) with T(expr|*, ...)
         L.expect('(');
@@ -194,9 +259,8 @@ private:
           Idx.push_back(L.ident());
         } while (L.tryConsume(','));
         L.expect(')');
-        bool OK = L.tryKeyword("with");
-        assert(OK && "hpf parse error: expected 'with'");
-        (void)OK;
+        if (!L.tryKeyword("with"))
+          L.fail("expected 'with' after the align index list");
         std::string T = L.ident();
         L.expect('(');
         Align A;
@@ -213,12 +277,15 @@ private:
             A.Terms.push_back(alignConst(E.K));
             continue;
           }
-          assert(E.Terms.size() == 1 && "nonlinear align expression");
+          if (E.Terms.size() != 1)
+            L.fail("nonlinear align expression");
           unsigned Dim = ~0u;
           for (unsigned I = 0; I != Idx.size(); ++I)
             if (Idx[I] == E.Terms[0].first)
               Dim = I;
-          assert(Dim != ~0u && "align uses an unbound index name");
+          if (Dim == ~0u)
+            L.fail("align expression uses unbound index name '" +
+                   E.Terms[0].first + "'");
           A.Terms.push_back(alignDim(Dim, E.Terms[0].second, E.K));
         } while (L.tryConsume(','));
         L.expect(')');
@@ -244,37 +311,45 @@ private:
             D.Specs.push_back(distCyclic());
           }
         } else {
-          assert(false && "hpf parse error: unknown distribution kind");
+          L.fail("unknown distribution kind (expected *, block, cyclic, "
+                 "or cyclic(k))");
         }
       } while (L.tryConsume(','));
       L.expect(')');
-      bool OK = L.tryKeyword("onto");
-      assert(OK && "hpf parse error: expected 'onto'");
-      (void)OK;
+      if (!L.tryKeyword("onto"))
+        L.fail("expected 'onto' after the distribution list");
       D.ProcName = L.ident();
       Prog->addDistribute(D);
       return;
     }
     if (L.tryKeyword("procedure")) {
-      assert(!InProc && "nested procedures are not supported");
+      if (InProc)
+        L.fail("nested procedures are not supported");
       CurProc = &Prog->addProcedure(L.ident());
       InProc = true;
       return;
     }
     if (L.tryKeyword("endprocedure")) {
-      assert(InProc && SeqStack.empty() && !InNest);
+      if (!InProc)
+        L.fail("'endprocedure' without an open procedure");
+      if (InNest)
+        L.fail("'endprocedure' inside an open nest");
+      if (!SeqStack.empty())
+        L.fail("'endprocedure' inside an open timeloop");
       InProc = false;
       CurProc = nullptr;
       return;
     }
     if (L.tryKeyword("timeloop")) {
-      assert(InProc && !InNest);
+      if (!InProc || InNest)
+        L.fail("'timeloop' must appear inside a procedure, outside nests");
       std::string Var = L.ident();
       L.expect('=');
       int64_t Lo = L.number();
       L.expect(',');
       int64_t Hi = L.number();
-      assert(Lo == 1 && "timeloop must start at 1");
+      if (Lo != 1)
+        L.fail("timeloop must start at 1");
       Phase &Ph = SeqStack.empty()
                       ? Prog->addSeqLoop(*CurProc, Var, Hi)
                       : [&]() -> Phase & {
@@ -289,12 +364,18 @@ private:
       return;
     }
     if (L.tryKeyword("endloop")) {
-      assert(!SeqStack.empty() && !InNest);
+      if (SeqStack.empty())
+        L.fail("'endloop' without an open timeloop");
+      if (InNest)
+        L.fail("'endloop' inside an open nest");
       SeqStack.pop_back();
       return;
     }
     if (L.tryKeyword("nest")) {
-      assert(InProc && !InNest);
+      if (!InProc)
+        L.fail("'nest' outside a procedure");
+      if (InNest)
+        L.fail("nests do not nest; close the previous one with 'endnest'");
       PendingNest = ComputeNest();
       PendingNest.Name = L.ident();
       if (L.tryKeyword("vectorize"))
@@ -303,7 +384,8 @@ private:
       return;
     }
     if (L.tryKeyword("endnest")) {
-      assert(InNest);
+      if (!InNest)
+        L.fail("'endnest' without an open nest");
       if (SeqStack.empty())
         Prog->addNest(*CurProc, PendingNest);
       else
@@ -312,7 +394,8 @@ private:
       return;
     }
     if (L.tryKeyword("do")) {
-      assert(InNest && "hpf parse error: 'do' outside a nest");
+      if (!InNest)
+        L.fail("'do' outside a nest");
       std::string Var = L.ident();
       L.expect('=');
       AffineExpr Lo = L.affine();
@@ -322,7 +405,8 @@ private:
       return;
     }
     if (L.tryKeyword("reduce")) {
-      assert(InProc && !InNest);
+      if (!InProc || InNest)
+        L.fail("'reduce' must appear inside a procedure, outside nests");
       Reduction R;
       if (L.tryKeyword("sum"))
         R.O = Reduction::Op::Sum;
@@ -331,7 +415,7 @@ private:
       else if (L.tryKeyword("max"))
         R.O = Reduction::Op::Max;
       else
-        assert(false && "hpf parse error: unknown reduction op");
+        L.fail("unknown reduction op (expected sum, max, or maxloc)");
       R.Name = L.ident();
       if (L.tryKeyword("elems"))
         R.Elems = static_cast<uint64_t>(L.number());
@@ -342,7 +426,8 @@ private:
       return;
     }
     // Otherwise: an assignment statement  W(subs) = R(subs)... [options].
-    assert(InNest && "hpf parse error: statement outside a nest");
+    if (!InNest)
+      L.fail("statement outside a nest");
     Statement S;
     S.Write = parseRef(L);
     L.expect('=');
@@ -354,7 +439,7 @@ private:
         continue;
       }
       if (L.tryKeyword("cost")) {
-        S.Cost = static_cast<double>(L.number());
+        S.Cost = L.real();
         continue;
       }
       if (L.tryKeyword("sem")) {
@@ -400,6 +485,19 @@ private:
 
 } // namespace
 
+Expected<std::unique_ptr<Program>>
+hpf::parseHpfProgram(const std::string &Text, DiagnosticEngine &Diags,
+                     const std::string &FileName) {
+  return HpfParser(Text, Diags, FileName).parse();
+}
+
 std::unique_ptr<Program> hpf::parseHpfProgram(const std::string &Text) {
-  return HpfParser(Text).parse();
+  DiagnosticEngine Diags;
+  Expected<std::unique_ptr<Program>> P = parseHpfProgram(Text, Diags);
+  if (!P) {
+    std::fputs(Diags.str().c_str(), stderr);
+    std::fputs("hpf: malformed program text rejected\n", stderr);
+    std::abort();
+  }
+  return P.take();
 }

@@ -27,7 +27,11 @@
 ///
 /// Bound and subscript expressions are affine over loop variables and
 /// parameters: terms like `2*i`, `i+1`, `N-1`, `pv+1`, constants.
-/// Malformed input asserts with the offending line number.
+///
+/// Malformed input is rejected with recoverable, source-located
+/// diagnostics (file:line:col) in Debug and Release builds alike: a bad
+/// line is reported and the parser resynchronizes at the next line, so one
+/// invocation surfaces every error in the input.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +39,7 @@
 #define DHPF_HPF_HPFPARSER_H
 
 #include "hpf/Program.h"
+#include "support/Diag.h"
 
 #include <memory>
 #include <string>
@@ -42,7 +47,16 @@
 namespace dhpf {
 namespace hpf {
 
-/// Parses the textual syntax above into a Program.
+/// Parses the textual syntax above into a Program, reporting malformed
+/// input into \p Diags (locations use \p FileName). Fails — after scanning
+/// the whole input for further diagnostics — iff any error was reported.
+Expected<std::unique_ptr<Program>>
+parseHpfProgram(const std::string &Text, DiagnosticEngine &Diags,
+                const std::string &FileName = "<hpf>");
+
+/// Convenience wrapper for trusted input (tests, examples): prints any
+/// diagnostics to stderr and aborts on malformed input — unconditionally,
+/// not via assert(), so Release builds reject bad input identically.
 std::unique_ptr<Program> parseHpfProgram(const std::string &Text);
 
 } // namespace hpf

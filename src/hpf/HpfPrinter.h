@@ -1,0 +1,39 @@
+//===- hpf/HpfPrinter.h - Print a Program in the textual syntax ----------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse of hpf/HpfParser.h: renders a Program in the line-oriented
+/// surface syntax, canonically (declarations sorted by name, one canonical
+/// spelling per construct), so that
+///
+///   parseHpfProgram(printHpfProgram(P))
+///
+/// reproduces P up to that canonical form, and printing the reparsed
+/// program is a fixed point. Used to export builder-API programs as .hpf
+/// files and to embed the source program in serialized SPMD artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_HPF_HPFPRINTER_H
+#define DHPF_HPF_HPFPRINTER_H
+
+#include "hpf/Program.h"
+
+#include <string>
+
+namespace dhpf {
+namespace hpf {
+
+/// Renders \p P in the textual mini-HPF syntax.
+std::string printHpfProgram(const Program &P);
+
+/// Renders one affine expression (terms then constant), e.g. "2*i+1".
+std::string printAffine(const AffineExpr &E);
+
+} // namespace hpf
+} // namespace dhpf
+
+#endif // DHPF_HPF_HPFPRINTER_H

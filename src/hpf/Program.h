@@ -363,6 +363,14 @@ public:
   const std::vector<Procedure> &procedures() const { return Procedures; }
   std::vector<Procedure> &procedures() { return Procedures; }
   const std::map<std::string, ArrayDecl> &arrays() const { return Arrays; }
+  const std::map<std::string, ProcArray> &procArrays() const { return Procs; }
+  const std::map<std::string, TemplateDecl> &templates() const {
+    return Templates;
+  }
+  const std::map<std::string, Distribute> &distributes() const {
+    return Distributes;
+  }
+  const std::map<std::string, Align> &aligns() const { return Aligns; }
 
   int numStatements() const { return NextStmtId; }
 

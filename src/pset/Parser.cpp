@@ -20,15 +20,20 @@
 ///
 /// Undeclared identifiers are registered as symbolic parameters in order of
 /// first use, so "{ [i] : 1 <= i <= N }" works without a prefix. Malformed
-/// input asserts (the parser serves tests and internal construction).
+/// input is rejected with a source-located diagnostic (line:col within the
+/// text) in Debug and Release builds alike; the asserting entry point is a
+/// thin wrapper that prints the diagnostics and aborts unconditionally.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "pset/Relation.h"
 
+#include "support/Diag.h"
 #include "support/MathExtras.h"
 
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
 using namespace dhpf;
@@ -65,9 +70,15 @@ struct SymConj {
   bool IsFalse = false;
 };
 
+/// Thrown on malformed input after the diagnostic is reported; caught by
+/// the entry points.
+struct ParseFailure {};
+
 class Parser {
 public:
-  explicit Parser(const std::string &Text) : S(Text) {}
+  Parser(const std::string &Text, DiagnosticEngine &Diags,
+         const std::string &File)
+      : S(Text), Diags(Diags), File(File) {}
 
   Relation parse() {
     skipWs();
@@ -104,11 +115,16 @@ public:
       Disjuncts.push_back(SymConj{}); // universe
     }
     expect("}");
+    skipWs();
+    if (Pos < S.size())
+      fail("trailing input after '}'");
     return build(Disjuncts);
   }
 
 private:
   const std::string &S;
+  DiagnosticEngine &Diags;
+  const std::string &File;
   size_t Pos = 0;
   std::vector<std::string> DeclaredParams;
   std::vector<std::string> InNames, OutNames;
@@ -116,6 +132,24 @@ private:
   const SymConj *CurConj = nullptr;    // for exist-name scoping
 
   //===---------------------------- lexing -------------------------------===//
+
+  /// The 1-based line:col of byte offset \p At within the text.
+  SourceLoc locAt(size_t At) const {
+    unsigned Line = 1, Col = 1;
+    for (size_t I = 0; I != At && I < S.size(); ++I) {
+      if (S[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    return SourceLoc(File, Line, Col);
+  }
+  [[noreturn]] void fail(const std::string &Msg) {
+    Diags.error(locAt(Pos), Msg);
+    throw ParseFailure();
+  }
 
   void skipWs() {
     while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
@@ -127,7 +161,8 @@ private:
   }
   char get() {
     skipWs();
-    assert(Pos < S.size() && "unexpected end of input");
+    if (Pos >= S.size())
+      fail("unexpected end of input");
     return S[Pos++];
   }
   bool lookahead(const std::string &Tok) {
@@ -136,7 +171,8 @@ private:
   }
   void expect(const std::string &Tok) {
     skipWs();
-    assert(S.compare(Pos, Tok.size(), Tok) == 0 && "parse error");
+    if (S.compare(Pos, Tok.size(), Tok) != 0)
+      fail("expected '" + Tok + "'");
     Pos += Tok.size();
   }
   /// Consumes the next word or operator token ("or", "&&", ...).
@@ -147,7 +183,8 @@ private:
       return;
     }
     while (Pos < S.size() &&
-           (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_'))
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_' ||
+            S[Pos] == '$'))
       ++Pos;
   }
   bool atIdent() {
@@ -157,11 +194,14 @@ private:
   }
   std::string parseIdent() {
     skipWs();
-    assert(atIdent() && "expected identifier");
+    if (!atIdent())
+      fail("expected identifier");
     size_t B = Pos;
+    // '$' appears in compiler-generated names (block-size parameters like
+    // B$T$0); accepting it keeps every toString() output reparsable.
     while (Pos < S.size() &&
            (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_' ||
-            S[Pos] == '\''))
+            S[Pos] == '\'' || S[Pos] == '$'))
       ++Pos;
     return S.substr(B, Pos - B);
   }
@@ -171,7 +211,8 @@ private:
       return false;
     size_t P = Pos, B = Pos;
     while (P < S.size() &&
-           (std::isalnum(static_cast<unsigned char>(S[P])) || S[P] == '_'))
+           (std::isalnum(static_cast<unsigned char>(S[P])) || S[P] == '_' ||
+            S[P] == '$'))
       ++P;
     std::string W = S.substr(B, P - B);
     return W == "or" || W == "and" || W == "exists" || W == "true" ||
@@ -183,10 +224,16 @@ private:
   }
   int64_t parseNumber() {
     skipWs();
-    assert(atNumber() && "expected number");
+    if (!atNumber())
+      fail("expected number");
     int64_t V = 0;
-    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+    unsigned Digits = 0;
+    while (Pos < S.size() &&
+           std::isdigit(static_cast<unsigned char>(S[Pos]))) {
+      if (++Digits > 18)
+        fail("integer literal too large");
       V = addOv(mulOv(V, 10), S[Pos++] - '0');
+    }
     return V;
   }
   std::vector<std::string> parseIdentList() {
@@ -317,7 +364,8 @@ private:
       C.Rows.push_back(std::move(Row));
       L = std::move(R);
     }
-    assert(AnyOp && "constraint without a comparison operator");
+    if (!AnyOp)
+      fail("constraint without a comparison operator");
   }
 
   SymExpr parseExpr() {
@@ -411,6 +459,11 @@ private:
   }
 
   Relation build(const std::vector<SymConj> &Disjuncts) {
+    // Duplicate declared parameters would trip Space's invariants.
+    for (unsigned I = 0; I != DeclaredParams.size(); ++I)
+      for (unsigned J = I + 1; J != DeclaredParams.size(); ++J)
+        if (DeclaredParams[I] == DeclaredParams[J])
+          fail("duplicate parameter '" + DeclaredParams[I] + "'");
     // Register all names first so the parameter list is complete.
     for (const SymConj &C : Disjuncts)
       for (const SymRow &R : C.Rows)
@@ -461,6 +514,23 @@ private:
 
 } // namespace
 
+Expected<Relation> dhpf::parseRelation(const std::string &Text,
+                                       DiagnosticEngine &Diags,
+                                       const std::string &FileName) {
+  try {
+    return Parser(Text, Diags, FileName).parse();
+  } catch (ParseFailure &) {
+    return Expected<Relation>::failure();
+  }
+}
+
 Relation dhpf::parseRelation(const std::string &Text) {
-  return Parser(Text).parse();
+  DiagnosticEngine Diags;
+  Expected<Relation> R = parseRelation(Text, Diags);
+  if (!R) {
+    std::fputs(Diags.str().c_str(), stderr);
+    std::fputs("pset: malformed set/relation text rejected\n", stderr);
+    std::abort();
+  }
+  return R.take();
 }

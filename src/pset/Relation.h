@@ -23,6 +23,7 @@
 
 #include "pset/Conjunct.h"
 #include "pset/Space.h"
+#include "support/Diag.h"
 
 #include <map>
 #include <string>
@@ -183,8 +184,16 @@ private:
 };
 
 /// Parses the textual relation syntax (see pset/Parser.cpp for the
-/// grammar). Asserts on malformed input; intended for tests, examples, and
-/// internal construction of layouts.
+/// grammar), reporting malformed input into \p Diags with line:col
+/// locations (named \p FileName). Works identically in Debug and Release
+/// builds.
+Expected<Relation> parseRelation(const std::string &Text,
+                                 DiagnosticEngine &Diags,
+                                 const std::string &FileName = "<set>");
+
+/// Convenience wrapper for trusted input (tests, examples, internal
+/// construction of layouts): prints diagnostics to stderr and aborts on
+/// malformed input — unconditionally, not via assert().
 Relation parseRelation(const std::string &Text);
 
 } // namespace dhpf

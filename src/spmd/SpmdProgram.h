@@ -101,6 +101,10 @@ struct SpmdNode {
 /// The complete compiled program.
 struct SpmdProgram {
   const hpf::Program *Source = nullptr;
+  /// Set when the program owns its source (a program reconstructed by
+  /// parseSpmdProgram); Source points at it. Compiler output leaves this
+  /// null and borrows the caller's program.
+  std::shared_ptr<const hpf::Program> OwnedSource;
   std::string ProcName; ///< the (single) processor array
   std::vector<hpf::VPDimInfo> ProcDims;
   cg::VarTable Vars;

@@ -1,0 +1,49 @@
+//===- support/Diag.cpp - Source-located diagnostics ---------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include <sstream>
+
+using namespace dhpf;
+
+std::string SourceLoc::str() const {
+  std::ostringstream OS;
+  OS << (File.empty() ? "<input>" : File);
+  if (Line) {
+    OS << ':' << Line;
+    if (Col)
+      OS << ':' << Col;
+  }
+  return OS.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << Loc.str() << ": ";
+  switch (S) {
+  case Severity::Note:
+    OS << "note: ";
+    break;
+  case Severity::Warning:
+    OS << "warning: ";
+    break;
+  case Severity::Error:
+    OS << "error: ";
+    break;
+  }
+  OS << Message;
+  return OS.str();
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string R;
+  for (const Diagnostic &D : Diags) {
+    R += D.str();
+    R += '\n';
+  }
+  return R;
+}

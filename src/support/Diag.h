@@ -1,0 +1,129 @@
+//===- support/Diag.h - Source-located diagnostics -----------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable, source-located diagnostics for every textual front end (the
+/// mini-HPF parser, the set/relation parser, the SPMD program reader) and
+/// for the compiler driver. A DiagnosticEngine collects Diagnostic records
+/// (severity, file:line:col, message); producers report and keep going
+/// where recovery is possible, and consumers ask hasErrors() afterwards.
+/// Reporting works identically in Debug and Release builds — rejecting
+/// malformed input never depends on assert().
+///
+/// Expected<T> is the companion result type: either a value or failure,
+/// with the details living in the DiagnosticEngine the producer reported
+/// into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_SUPPORT_DIAG_H
+#define DHPF_SUPPORT_DIAG_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dhpf {
+
+/// A position in a textual input. Line and column are 1-based; 0 means
+/// "unknown" (e.g. a whole-file condition such as an unterminated block).
+struct SourceLoc {
+  std::string File; ///< display name, e.g. "prog.hpf" or "<string>"
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(std::string File, unsigned Line = 0, unsigned Col = 0)
+      : File(std::move(File)), Line(Line), Col(Col) {}
+
+  bool isValid() const { return !File.empty() || Line != 0; }
+  /// "file:line:col", omitting unknown trailing parts.
+  std::string str() const;
+};
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  Severity S = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// "file:line:col: error: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics for one front-end invocation. Not thread-safe; use
+/// one engine per parse/compile.
+class DiagnosticEngine {
+public:
+  void report(Severity S, SourceLoc Loc, std::string Message) {
+    if (S == Severity::Error)
+      ++NumErrors;
+    Diags.push_back({S, std::move(Loc), std::move(Message)});
+  }
+  void error(SourceLoc Loc, std::string Message) {
+    report(Severity::Error, std::move(Loc), std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(Severity::Warning, std::move(Loc), std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(Severity::Note, std::move(Loc), std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// All diagnostics formatted one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+/// A value-or-failure result. The failure detail is not stored here: the
+/// producer reported it into the DiagnosticEngine it was handed. Cheap to
+/// return by value; test with operator bool before dereferencing.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Val(std::move(Value)) {} // implicit: success
+  static Expected failure() { return Expected(); }
+
+  explicit operator bool() const { return Val.has_value(); }
+  T &operator*() {
+    assert(Val && "dereferencing failed Expected");
+    return *Val;
+  }
+  const T &operator*() const {
+    assert(Val && "dereferencing failed Expected");
+    return *Val;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+  /// Moves the value out (success only).
+  T take() {
+    assert(Val && "taking failed Expected");
+    return std::move(*Val);
+  }
+
+private:
+  Expected() = default;
+  std::optional<T> Val;
+};
+
+} // namespace dhpf
+
+#endif // DHPF_SUPPORT_DIAG_H

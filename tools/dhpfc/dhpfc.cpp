@@ -1,0 +1,579 @@
+//===- tools/dhpfc/dhpfc.cpp - The dHPF command-line driver ---------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end for the whole pipeline, driving each stage from
+/// files so compilation and execution can run in separate processes:
+///
+///   dhpfc compile prog.hpf -o prog.spmd   parse + analyze + emit + serialize
+///   dhpfc run prog.spmd -p 4              parse .spmd + simulate + verify
+///   dhpfc pipeline prog.hpf -p 4          compile, round-trip through the
+///                                         serialized form, run, check
+///   dhpfc export [-d DIR]                 write the Figure 7 benchmarks
+///                                         as .hpf text
+///   dhpfc list                            show the registered benchmarks
+///
+/// All malformed input is rejected with file:line:col diagnostics; the exit
+/// code is 0 on success, 1 on any diagnostic / validity violation / failed
+/// reference check, 2 on a usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Registry.h"
+#include "core/Compiler.h"
+#include "core/CompilerDriver.h"
+#include "core/InPlace.h"
+#include "hpf/HpfParser.h"
+#include "hpf/HpfPrinter.h"
+#include "spmd/Interp.h"
+#include "spmd/Serialize.h"
+#include "support/Diag.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dhpf;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::cerr
+      << "usage: " << Argv0 << " <command> [options]\n"
+      << "\n"
+      << "commands:\n"
+      << "  compile <prog.hpf> [-o <out.spmd>]   compile to a serialized "
+         "SPMD program\n"
+      << "  run <prog.spmd> [-p N]               execute a serialized "
+         "program\n"
+      << "  pipeline <prog.hpf> [-p N]           compile + serialization "
+         "round trip + run\n"
+      << "  export [-d <dir>]                    write the benchmark "
+         "programs as .hpf\n"
+      << "  list                                 list registered "
+         "benchmarks\n"
+      << "\n"
+      << "compile options:\n"
+      << "  -o <file>            output path ('-' = stdout; default: input "
+         "with .spmd)\n"
+      << "  -dump-after=<pass>   dump IR after pass(es); comma list or "
+         "'all'\n"
+      << "  --no-split           disable loop splitting (Figure 4)\n"
+      << "  --no-coalesce        disable communication coalescing\n"
+      << "  --no-inplace         disable in-place (contiguity) analysis\n"
+      << "  --sequential         single-threaded analysis and execution\n"
+      << "  --threads=<n>        analysis worker threads (0 = hardware)\n"
+      << "  --stats              print compile statistics and phase times\n"
+      << "\n"
+      << "run options:\n"
+      << "  -p <n>               total processors (default 4)\n"
+      << "  --procs=<a,b,..>     explicit processor-array extents\n"
+      << "  --engine=<e>         tree | bytecode | auto (default auto)\n"
+      << "  --param=<name=val>   bind a program parameter\n"
+      << "  --no-check           skip the serial reference check\n"
+      << "  --no-validity        skip ownership/communication validation\n"
+      << "  --stats              print message/byte/statement counts\n";
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out, std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Text,
+               std::string &Err) {
+  if (Path == "-") {
+    std::cout << Text;
+    return true;
+  }
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Text;
+  Out.flush();
+  if (!Out) {
+    Err = "error writing '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+void flushDiags(DiagnosticEngine &Diags) {
+  if (!Diags.empty())
+    std::cerr << Diags.str();
+  Diags.clear();
+}
+
+struct CliOptions {
+  std::string Input;
+  std::string Output;
+  std::string DumpAfter;
+  std::string Engine;
+  std::string ExportDir = ".";
+  int64_t NumProcs = 4;
+  std::vector<int64_t> ProcShape; ///< --procs override; empty = derive
+  std::map<std::string, int64_t> Params;
+  bool NoSplit = false;
+  bool NoCoalesce = false;
+  bool NoInPlace = false;
+  bool Sequential = false;
+  unsigned Threads = 0;
+  bool Stats = false;
+  bool NoCheck = false;
+  bool NoValidity = false;
+};
+
+bool parseInt(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses everything after the subcommand. Returns false (after printing
+/// the offending option) on a usage error.
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  auto Value = [](const std::string &A, const char *Pfx,
+                  std::string &Out) -> bool {
+    std::string P(Pfx);
+    if (A.rfind(P, 0) != 0)
+      return false;
+    Out = A.substr(P.size());
+    return true;
+  };
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::string V;
+    if (A == "-o" || A == "-p" || A == "-d") {
+      if (I + 1 >= Argc) {
+        std::cerr << "dhpfc: " << A << " requires a value\n";
+        return false;
+      }
+      V = Argv[++I];
+      if (A == "-o")
+        O.Output = V;
+      else if (A == "-d")
+        O.ExportDir = V;
+      else if (!parseInt(V, O.NumProcs) || O.NumProcs < 1) {
+        std::cerr << "dhpfc: invalid processor count '" << V << "'\n";
+        return false;
+      }
+    } else if (Value(A, "-dump-after=", V) ||
+               Value(A, "--dump-after=", V)) {
+      O.DumpAfter = V;
+    } else if (Value(A, "--engine=", V)) {
+      O.Engine = V;
+    } else if (Value(A, "--threads=", V)) {
+      int64_t N;
+      if (!parseInt(V, N) || N < 0) {
+        std::cerr << "dhpfc: invalid thread count '" << V << "'\n";
+        return false;
+      }
+      O.Threads = static_cast<unsigned>(N);
+    } else if (Value(A, "--procs=", V)) {
+      std::stringstream SS(V);
+      std::string Tok;
+      O.ProcShape.clear();
+      while (std::getline(SS, Tok, ',')) {
+        int64_t E;
+        if (!parseInt(Tok, E) || E < 1) {
+          std::cerr << "dhpfc: invalid --procs extent '" << Tok << "'\n";
+          return false;
+        }
+        O.ProcShape.push_back(E);
+      }
+      if (O.ProcShape.empty()) {
+        std::cerr << "dhpfc: empty --procs list\n";
+        return false;
+      }
+    } else if (Value(A, "--param=", V)) {
+      size_t Eq = V.find('=');
+      int64_t Val;
+      if (Eq == std::string::npos || Eq == 0 ||
+          !parseInt(V.substr(Eq + 1), Val)) {
+        std::cerr << "dhpfc: --param expects name=value, got '" << V
+                  << "'\n";
+        return false;
+      }
+      O.Params[V.substr(0, Eq)] = Val;
+    } else if (A == "--no-split") {
+      O.NoSplit = true;
+    } else if (A == "--no-coalesce") {
+      O.NoCoalesce = true;
+    } else if (A == "--no-inplace") {
+      O.NoInPlace = true;
+    } else if (A == "--sequential") {
+      O.Sequential = true;
+    } else if (A == "--stats") {
+      O.Stats = true;
+    } else if (A == "--no-check") {
+      O.NoCheck = true;
+    } else if (A == "--no-validity") {
+      O.NoValidity = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::cerr << "dhpfc: unknown option '" << A << "'\n";
+      return false;
+    } else if (O.Input.empty()) {
+      O.Input = A;
+    } else {
+      std::cerr << "dhpfc: unexpected argument '" << A << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+core::CompilerOptions compilerOptions(const CliOptions &O) {
+  core::CompilerOptions CO;
+  CO.LoopSplitting = !O.NoSplit;
+  CO.Coalescing = !O.NoCoalesce;
+  CO.InPlaceAnalysis = !O.NoInPlace;
+  CO.ParallelAnalysis = !O.Sequential;
+  CO.AnalysisThreads = O.Threads;
+  CO.DumpAfter = O.DumpAfter;
+  return CO;
+}
+
+void printCompileStats(const core::CompileOutput &Out) {
+  std::cout << "  comm events: " << Out.NumCommEvents << " ("
+            << Out.NumContiguousProven << " contiguous, "
+            << Out.NumRectSections << " rect sections), split nests: "
+            << Out.NumSplitNests << ", analysis threads: "
+            << Out.ThreadsUsed << "\n";
+  for (const PhaseTimers::Entry &E : Out.Timers.entries()) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%9.3f ms", E.Seconds * 1e3);
+    std::cout << "  " << Buf << "  " << E.Name << "\n";
+  }
+}
+
+/// Parses + compiles one .hpf file; null (with diagnostics already
+/// printed) on any error. On success \p ProgOut owns the source program
+/// the compile output borrows.
+std::unique_ptr<core::CompileOutput>
+compileHpfFile(const std::string &Path, const CliOptions &O,
+               std::unique_ptr<hpf::Program> &ProgOut) {
+  std::string Text, Err;
+  if (!readFile(Path, Text, Err)) {
+    std::cerr << "dhpfc: " << Err << "\n";
+    return nullptr;
+  }
+  DiagnosticEngine Diags;
+  auto Parsed = hpf::parseHpfProgram(Text, Diags, Path);
+  if (!Parsed) {
+    flushDiags(Diags);
+    return nullptr;
+  }
+  ProgOut = Parsed.take();
+  core::CompilerDriver Driver(*ProgOut, compilerOptions(O), &Diags);
+  std::unique_ptr<core::CompileOutput> Out = Driver.run();
+  flushDiags(Diags); // warnings on success, errors on failure
+  if (!Out)
+    return nullptr;
+  if (O.Stats) {
+    std::cout << "compiled '" << ProgOut->name() << "' (" << Path << ")\n";
+    printCompileStats(*Out);
+  }
+  return Out;
+}
+
+bool parseEngine(const std::string &S, spmd::EngineKind &Out) {
+  if (S.empty() || S == "auto")
+    Out = spmd::EngineKind::Auto;
+  else if (S == "tree")
+    Out = spmd::EngineKind::Tree;
+  else if (S == "bytecode")
+    Out = spmd::EngineKind::Bytecode;
+  else
+    return false;
+  return true;
+}
+
+const char *engineName(spmd::EngineKind E) {
+  return spmd::Interpreter::resolveEngine(E) == spmd::EngineKind::Tree
+             ? "tree"
+             : "bytecode";
+}
+
+/// Fallback semantics for programs with no registered benchmark: a
+/// deterministic function of the values read, plus a deterministic array
+/// initialization, so any valid .hpf input is runnable end to end.
+void genericSetup(spmd::Interpreter &I, const spmd::SpmdProgram &SP) {
+  std::set<int> Sems;
+  for (const spmd::CompiledStmt &S : SP.Stmts)
+    if (S.SemanticsId >= 0)
+      Sems.insert(S.SemanticsId);
+  for (int Id : Sems)
+    I.setSemantics(Id, [](const std::vector<double> &Reads,
+                          const std::vector<int64_t> &, spmd::AccumMap &) {
+      double V = 1.0;
+      for (double R : Reads)
+        V += 0.25 * R;
+      return V;
+    });
+  if (!SP.Source)
+    return;
+  for (const auto &A : SP.Source->arrays())
+    I.initArray(A.first, [](const std::vector<int64_t> &Idx) {
+      double V = 0.5;
+      for (int64_t X : Idx)
+        V = V * 1.9 + 0.3 * static_cast<double>(X);
+      return std::sin(V);
+    });
+}
+
+/// Executes an SPMD program (from `run` or `pipeline`). Returns the
+/// process exit code.
+int runProgram(const spmd::SpmdProgram &SP, const CliOptions &O) {
+  spmd::RunConfig RC;
+  RC.Params = O.Params;
+  RC.CheckValidity = !O.NoValidity;
+  if (O.Sequential)
+    RC.ExecThreads = 1;
+  if (!parseEngine(O.Engine, RC.Engine)) {
+    std::cerr << "dhpfc: unknown engine '" << O.Engine
+              << "' (want tree|bytecode|auto)\n";
+    return 2;
+  }
+
+  // Attach benchmark semantics when the program is a canonical export;
+  // otherwise fall back to the generic deterministic semantics.
+  const std::string ProgName = SP.Source ? SP.Source->name() : "<unknown>";
+  const apps::RegistryEntry *Reg = apps::findApp(ProgName);
+  std::optional<apps::AppInstance> App;
+  bool Canonical = false;
+  if (Reg) {
+    App = Reg->MakeCanonical();
+    Canonical =
+        SP.Source &&
+        hpf::printHpfProgram(*App->Prog) == hpf::printHpfProgram(*SP.Source);
+  }
+
+  // Processor-array extents: an explicit --procs wins; otherwise map -p
+  // onto the benchmark's grid, or put all processors on the first
+  // symbolic dimension.
+  bool AnySymbolic = false;
+  for (const hpf::VPDimInfo &D : SP.ProcDims)
+    AnySymbolic |= !D.ProcSym.empty();
+  std::vector<int64_t> Shape = O.ProcShape;
+  if (Shape.empty() && AnySymbolic) {
+    if (Reg) {
+      Shape = Reg->ProcShape(O.NumProcs);
+      if (Shape.empty()) {
+        std::cerr << "dhpfc: cannot map " << O.NumProcs
+                  << " processors onto the '" << ProgName << "' grid\n";
+        return 2;
+      }
+    } else {
+      bool First = true;
+      for (const hpf::VPDimInfo &D : SP.ProcDims) {
+        if (D.ProcSym.empty())
+          Shape.push_back(D.ProcFixed);
+        else {
+          Shape.push_back(First ? O.NumProcs : 1);
+          First = false;
+        }
+      }
+    }
+  }
+  if (!Shape.empty()) {
+    if (Shape.size() != SP.ProcDims.size()) {
+      std::cerr << "dhpfc: processor shape has " << Shape.size()
+                << " extents but '" << SP.ProcName << "' has "
+                << SP.ProcDims.size() << " dimensions\n";
+      return 2;
+    }
+    RC.ProcExtents[SP.ProcName] = Shape;
+  }
+
+  spmd::Interpreter I(SP, RC);
+  if (App && Canonical)
+    App->Setup(I);
+  else
+    genericSetup(I, SP);
+
+  spmd::RunResult RR = I.run();
+
+  int64_t TotalProcs = 1;
+  for (int64_t E : Shape)
+    TotalProcs *= E;
+  std::cout << "ran '" << ProgName << "'";
+  if (!Shape.empty()) {
+    std::cout << " on " << TotalProcs << " procs (";
+    for (size_t D = 0; D != Shape.size(); ++D)
+      std::cout << (D ? "x" : "") << Shape[D];
+    std::cout << ")";
+  }
+  std::cout << ", engine " << engineName(RC.Engine) << "\n";
+  if (O.Stats) {
+    std::cout << "  simulated time: " << RR.ElapsedSeconds
+              << " s, messages: " << RR.Messages << ", bytes: " << RR.Bytes
+              << ", stmt instances: " << RR.StmtInstances
+              << ", in-place upgrades: " << RR.InPlaceRuntimeUpgrades
+              << "\n";
+    for (const auto &Acc : RR.FinalAccums)
+      std::cout << "  accum " << Acc.first << " = " << Acc.second << "\n";
+  }
+  if (!RR.Valid) {
+    std::cerr << "dhpfc: run INVALID (" << RR.Violations.size()
+              << " recorded violations)\n";
+    for (const std::string &V : RR.Violations)
+      std::cerr << "  " << V << "\n";
+    return 1;
+  }
+  if (!O.NoCheck) {
+    if (App && Canonical && App->Check) {
+      std::string Err;
+      if (!App->Check(I, Err)) {
+        std::cerr << "dhpfc: reference check FAILED: " << Err << "\n";
+        return 1;
+      }
+      std::cout << "reference check: OK\n";
+    } else if (Reg) {
+      std::cout << "note: program differs from the canonical '" << ProgName
+                << "' export; reference check skipped\n";
+    }
+  }
+  return 0;
+}
+
+std::string defaultOutputPath(const std::string &Input) {
+  size_t Dot = Input.find_last_of('.');
+  size_t Slash = Input.find_last_of('/');
+  if (Dot == std::string::npos ||
+      (Slash != std::string::npos && Dot < Slash))
+    return Input + ".spmd";
+  return Input.substr(0, Dot) + ".spmd";
+}
+
+int cmdCompile(const CliOptions &O) {
+  std::unique_ptr<hpf::Program> Prog;
+  std::unique_ptr<core::CompileOutput> Out = compileHpfFile(O.Input, O, Prog);
+  if (!Out)
+    return 1;
+  std::string Path = O.Output.empty() ? defaultOutputPath(O.Input) : O.Output;
+  std::string Err;
+  if (!writeFile(Path, spmd::serializeSpmdProgram(Out->Program), Err)) {
+    std::cerr << "dhpfc: " << Err << "\n";
+    return 1;
+  }
+  if (Path != "-")
+    std::cout << "wrote " << Path << "\n";
+  return 0;
+}
+
+int cmdRun(const CliOptions &O) {
+  std::string Text, Err;
+  if (!readFile(O.Input, Text, Err)) {
+    std::cerr << "dhpfc: " << Err << "\n";
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  std::unique_ptr<spmd::SpmdProgram> SP =
+      spmd::parseSpmdProgram(Text, Diags, O.Input);
+  flushDiags(Diags);
+  if (!SP)
+    return 1;
+  // The serialized form cannot carry the runtime contiguity check (a
+  // function pointer into the analysis library); re-wire it here.
+  SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
+  return runProgram(*SP, O);
+}
+
+int cmdPipeline(const CliOptions &O) {
+  std::unique_ptr<hpf::Program> Prog;
+  std::unique_ptr<core::CompileOutput> Out = compileHpfFile(O.Input, O, Prog);
+  if (!Out)
+    return 1;
+  // Force the full serialization round trip so `pipeline` exercises the
+  // same path as compile-to-file + run-from-file.
+  std::string Text = spmd::serializeSpmdProgram(Out->Program);
+  DiagnosticEngine Diags;
+  std::unique_ptr<spmd::SpmdProgram> SP =
+      spmd::parseSpmdProgram(Text, Diags, O.Input + ":spmd");
+  flushDiags(Diags);
+  if (!SP) {
+    std::cerr << "dhpfc: internal error: serialized program failed to "
+                 "reparse\n";
+    return 1;
+  }
+  SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
+  std::cout << "pipeline: compiled '" << Prog->name() << "', round-tripped "
+            << Text.size() << " bytes\n";
+  return runProgram(*SP, O);
+}
+
+int cmdExport(const CliOptions &O) {
+  for (const apps::RegistryEntry &E : apps::appRegistry()) {
+    apps::AppInstance App = E.MakeCanonical();
+    std::string Text = "! " + E.Name + ": " + E.Summary +
+                       "\n! canonical export (dhpfc export)\n" +
+                       hpf::printHpfProgram(*App.Prog);
+    std::string Path = O.ExportDir + "/" + E.Name + ".hpf";
+    std::string Err;
+    if (!writeFile(Path, Text, Err)) {
+      std::cerr << "dhpfc: " << Err << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << Path << "\n";
+  }
+  return 0;
+}
+
+int cmdList() {
+  for (const apps::RegistryEntry &E : apps::appRegistry())
+    std::cout << E.Name << "  -  " << E.Summary << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Cmd = Argv[1];
+  CliOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+  if (Cmd == "list")
+    return cmdList();
+  if (Cmd == "export")
+    return cmdExport(O);
+  if (O.Input.empty()) {
+    std::cerr << "dhpfc: " << Cmd << " requires an input file\n";
+    return 2;
+  }
+  if (Cmd == "compile")
+    return cmdCompile(O);
+  if (Cmd == "run")
+    return cmdRun(O);
+  if (Cmd == "pipeline")
+    return cmdPipeline(O);
+  std::cerr << "dhpfc: unknown command '" << Cmd << "'\n";
+  return usage(Argv[0]);
+}
