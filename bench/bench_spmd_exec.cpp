@@ -43,6 +43,9 @@ struct Measurement {
   double ByteParSecs = 0; ///< bytecode, hardware threads
   uint64_t StmtInstances = 0;
   uint64_t Messages = 0;
+  uint64_t Bytes = 0;
+  uint64_t SpanCopies = 0;
+  uint64_t PackedCopies = 0;
   bool Valid = true;
 };
 
@@ -67,6 +70,9 @@ double timedRun(const CompileOutput &Compiled, const AppInstance &App,
   double Secs = now() - T0;
   M.StmtInstances = RR.StmtInstances;
   M.Messages = RR.Messages;
+  M.Bytes = RR.Bytes;
+  M.SpanCopies = RR.SpanCopies;
+  M.PackedCopies = RR.PackedCopies;
   M.Valid = M.Valid && RR.Valid;
   if (!RR.Valid)
     std::fprintf(stderr, "VALIDITY FAILURE %s: %s\n", App.Name.c_str(),
@@ -118,6 +124,12 @@ void writeJson(const char *Path, const std::vector<Measurement> &Ms) {
                  static_cast<unsigned long long>(M.StmtInstances));
     std::fprintf(F, "      \"messages\": %llu,\n",
                  static_cast<unsigned long long>(M.Messages));
+    std::fprintf(F, "      \"bytes\": %llu,\n",
+                 static_cast<unsigned long long>(M.Bytes));
+    std::fprintf(F, "      \"span_copies\": %llu,\n",
+                 static_cast<unsigned long long>(M.SpanCopies));
+    std::fprintf(F, "      \"packed_copies\": %llu,\n",
+                 static_cast<unsigned long long>(M.PackedCopies));
     std::fprintf(F, "      \"valid\": %s\n    }%s\n", M.Valid ? "true"
                                                              : "false",
                  I + 1 != Ms.size() ? "," : "");

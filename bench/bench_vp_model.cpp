@@ -51,7 +51,7 @@ AppInstance fixedTwin(const char *Which, int64_t N) {
   S.SemanticsId = 0;
   Nest.Stmts = {S};
   P.addNest(Main, Nest);
-  App.Setup = [](Interpreter &) {};
+  App.Setup = [](spmd::ProgramHost &) {};
   return App;
 }
 

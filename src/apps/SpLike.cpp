@@ -148,7 +148,7 @@ AppInstance apps::makeSpLike(unsigned Procedures, bool SymbolicProcs,
     }
   }
 
-  App.Setup = [](Interpreter &I) {
+  App.Setup = [](spmd::ProgramHost &I) {
     auto Avg = [](const std::vector<double> &Rd,
                   const std::vector<int64_t> &, AccumMap &) {
       double S = 0;

@@ -1,0 +1,99 @@
+//===- net/Loopback.cpp - In-process loopback transport mesh -------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Loopback.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <deque>
+
+using namespace dhpf;
+using namespace dhpf::net;
+
+struct LoopbackMesh::Shared {
+  std::mutex M;
+  std::condition_variable CV;
+  /// Per-destination queues of (source rank, encoded frame).
+  std::vector<std::deque<std::pair<unsigned, std::vector<uint8_t>>>> Queues;
+  std::vector<char> Exited;
+
+  explicit Shared(unsigned NP) : Queues(NP), Exited(NP, 0) {}
+};
+
+namespace {
+
+class LoopbackTransport final : public Transport {
+public:
+  LoopbackTransport(unsigned Rank, unsigned NP,
+                    std::shared_ptr<LoopbackMesh::Shared> SIn)
+      : Transport(Rank, NP), S(std::move(SIn)) {}
+
+  ~LoopbackTransport() override {
+    std::lock_guard<std::mutex> L(S->M);
+    S->Exited[rank()] = 1;
+    S->CV.notify_all();
+  }
+
+private:
+  std::shared_ptr<LoopbackMesh::Shared> S;
+
+  void sendFrame(unsigned Dst, const ByteSpan *Parts, size_t NumParts,
+                 bool /*ComputeContext*/) override {
+    std::vector<uint8_t> Frame;
+    size_t Total = 0;
+    for (size_t I = 0; I != NumParts; ++I)
+      Total += Parts[I].Len;
+    Frame.resize(Total);
+    size_t Off = 0;
+    for (size_t I = 0; I != NumParts; ++I) {
+      std::memcpy(Frame.data() + Off, Parts[I].Data, Parts[I].Len);
+      Off += Parts[I].Len;
+    }
+    std::lock_guard<std::mutex> L(S->M);
+    S->Queues[Dst].emplace_back(rank(), std::move(Frame));
+    S->CV.notify_all();
+  }
+
+  bool pump(int TimeoutMs, bool /*ComputeContext*/) override {
+    std::deque<std::pair<unsigned, std::vector<uint8_t>>> Got;
+    {
+      std::unique_lock<std::mutex> L(S->M);
+      auto Ready = [&] {
+        if (!S->Queues[rank()].empty())
+          return true;
+        for (unsigned Q = 0; Q != size(); ++Q)
+          if (Q != rank() && S->Exited[Q] && !peerDead(Q))
+            return true;
+        return false;
+      };
+      if (!Ready() && TimeoutMs > 0)
+        S->CV.wait_for(L, std::chrono::milliseconds(TimeoutMs), Ready);
+      Got.swap(S->Queues[rank()]);
+      for (unsigned Q = 0; Q != size(); ++Q)
+        if (Q != rank() && S->Exited[Q])
+          markPeerDead(Q, "rank exited");
+    }
+    for (auto &[Src, Frame] : Got)
+      deliverFrame(Src, Frame.data(), Frame.size());
+    return !Got.empty();
+  }
+
+  // Delivery into the mesh queue is synchronous inside sendFrame.
+  bool allFlushed() const override { return true; }
+};
+
+} // namespace
+
+LoopbackMesh::LoopbackMesh(unsigned NPIn)
+    : NP(NPIn), S(std::make_shared<Shared>(NPIn)) {}
+
+LoopbackMesh::~LoopbackMesh() = default;
+
+std::unique_ptr<Transport> LoopbackMesh::transport(unsigned Rank) {
+  assert(Rank < NP);
+  return std::make_unique<LoopbackTransport>(Rank, NP, S);
+}

@@ -1,0 +1,49 @@
+//===- net/Loopback.h - In-process loopback transport mesh ---------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process transport backend: NP rank threads in one address space
+/// exchanging fully-encoded frames through locked queues. Every frame
+/// still passes through the shared encode / fault-inject / validate path
+/// of net::Transport, so loopback is a genuine differential oracle for
+/// the socket backend — identical framing, identical diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_NET_LOOPBACK_H
+#define DHPF_NET_LOOPBACK_H
+
+#include "net/Net.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace dhpf {
+namespace net {
+
+/// The shared state of an NP-rank loopback mesh. Create one, then hand
+/// each rank thread its transport(). Destroying a rank's transport marks
+/// it dead to the others (the loopback analogue of a closed socket).
+class LoopbackMesh {
+public:
+  explicit LoopbackMesh(unsigned NP);
+  ~LoopbackMesh();
+
+  unsigned size() const { return NP; }
+  std::unique_ptr<Transport> transport(unsigned Rank);
+
+  struct Shared; ///< opaque; defined in Loopback.cpp
+
+private:
+  unsigned NP;
+  std::shared_ptr<Shared> S;
+};
+
+} // namespace net
+} // namespace dhpf
+
+#endif // DHPF_NET_LOOPBACK_H

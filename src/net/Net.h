@@ -1,0 +1,214 @@
+//===- net/Net.h - Message transport for the distributed runtime ---------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-moving layer under the distributed rank runtime (src/rt): a
+/// Transport abstraction with two backends that share one framing format,
+/// one receive-side validation path, and one fault-injection hook, so the
+/// in-process loopback mesh is a true differential oracle for the socket
+/// backend.
+///
+/// Framing: every message is one frame — a fixed 40-byte header
+///
+///   u32 magic 'DHPF'  u32 payloadLen  u32 src  u32 dst
+///   u64 tag           u64 seq         u64 checksum (FNV-1a over payload)
+///
+/// followed by the payload. `seq` numbers the src->dst stream from 0, so
+/// the receiver detects dropped (sequence gap) and duplicated frames;
+/// the checksum catches payload corruption; the magic word catches stream
+/// desynchronization after a truncated frame. Every detection is a thrown
+/// TransportError naming the peer rank — never a silent hang; blocking
+/// waits are bounded by a watchdog (DHPF_NET_TIMEOUT_MS, default 10 s).
+///
+/// Sends are nonblocking: post() frames the message and opportunistically
+/// hands bytes to the peer; whatever the OS does not accept immediately is
+/// buffered and flushed by progress(), which the rank runtime calls from
+/// inside compute nodes — the Figure 4 overlap window. post() takes the
+/// payload as scatter/gather spans so a contiguous section proven by the
+/// Section 3.3 analysis is written straight from array storage (writev);
+/// only the unsent remainder is copied before post() returns.
+///
+/// DHPF_NET_FAULT="drop=P,dup=P,trunc=P,corrupt=P,seed=S,after=N" makes
+/// the send side probabilistically drop / duplicate / truncate / corrupt
+/// frames (deterministically per seed and rank) — the test hook proving
+/// receive-side validation catches every corruption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_NET_NET_H
+#define DHPF_NET_NET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dhpf {
+namespace net {
+
+constexpr uint32_t FrameMagic = 0x44485046; // "DHPF" big-endian spelling
+constexpr size_t FrameHeaderBytes = 40;
+/// Sanity cap on a single frame's payload; a garbled length field past
+/// this is diagnosed instead of attempting a multi-gigabyte read.
+constexpr uint32_t MaxFramePayload = 1u << 30;
+
+struct FrameHeader {
+  uint32_t Magic = FrameMagic;
+  uint32_t PayloadLen = 0;
+  uint32_t Src = 0;
+  uint32_t Dst = 0;
+  uint64_t Tag = 0;
+  uint64_t Seq = 0;
+  uint64_t Checksum = 0;
+};
+
+void encodeHeader(const FrameHeader &H, uint8_t Out[FrameHeaderBytes]);
+FrameHeader decodeHeader(const uint8_t In[FrameHeaderBytes]);
+
+/// Incremental FNV-1a; seed the first call with fnv1aInit().
+constexpr uint64_t fnv1aInit() { return 0xcbf29ce484222325ull; }
+uint64_t fnv1aAccum(uint64_t H, const void *Data, size_t Len);
+
+/// One piece of a scatter/gather payload. The memory only needs to stay
+/// valid for the duration of the post() call.
+struct ByteSpan {
+  const void *Data = nullptr;
+  size_t Len = 0;
+};
+
+/// Every transport failure: corrupted/dropped/duplicated frames, peer
+/// death, watchdog timeouts, wiring errors. The message names the peer
+/// rank involved.
+class TransportError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct TransportStats {
+  uint64_t FramesSent = 0;
+  uint64_t FramesRecvd = 0;
+  uint64_t WireBytesSent = 0;
+  uint64_t WireBytesRecvd = 0;
+  /// Wire bytes handed to the peer from progress() calls made during
+  /// computation — the numerator of the overlap ratio.
+  uint64_t BytesFlushedDuringCompute = 0;
+  uint64_t ProgressCalls = 0;
+  uint64_t FaultsInjected = 0;
+};
+
+/// The DHPF_NET_FAULT hook: a deterministic per-rank stream of frame
+/// fates. Probabilities are independent; `after` skips the first N frames
+/// so the mesh wiring itself stays reliable in fault tests.
+class FaultInjector {
+public:
+  enum class Action : uint8_t { None, Drop, Duplicate, Truncate, Corrupt };
+
+  FaultInjector() = default;
+  /// Parses the spec ("drop=0.5,seed=7,after=2"); an unparsable spec is a
+  /// TransportError (tests must not silently run fault-free).
+  static FaultInjector parse(const std::string &Spec, unsigned Rank);
+  static FaultInjector fromEnv(unsigned Rank);
+
+  bool enabled() const { return Drop + Dup + Trunc + Corrupt > 0; }
+  Action next();
+
+private:
+  double Drop = 0, Dup = 0, Trunc = 0, Corrupt = 0;
+  uint64_t After = 0;
+  uint64_t Sent = 0;
+  uint64_t State = 0x9e3779b97f4a7c15ull;
+  double uniform();
+};
+
+/// Abstract point-to-point transport among NP ranks. One instance per
+/// rank; instances are single-threaded. Framing, sequence tracking,
+/// receive-side validation, tag-matched delivery queues, the watchdog,
+/// and fault injection all live here; backends only move bytes.
+class Transport {
+public:
+  virtual ~Transport();
+
+  unsigned rank() const { return Rank; }
+  unsigned size() const { return NP; }
+
+  /// Nonblocking send of one framed message assembled from \p Parts.
+  /// Bytes not handed to the peer before return are buffered internally,
+  /// so the spans (which may point into array storage) are reusable
+  /// immediately after the call.
+  void post(unsigned Dst, uint64_t Tag, const ByteSpan *Parts,
+            size_t NumParts);
+
+  /// Blocking matched receive: the next payload posted by \p Src under
+  /// \p Tag, in posting order. Throws on watchdog expiry, peer death, or
+  /// any validation failure.
+  std::vector<uint8_t> recv(unsigned Src, uint64_t Tag);
+
+  /// True if a payload from \p Src under \p Tag is already deliverable
+  /// without blocking (drives opportunistic receives).
+  bool canRecv(unsigned Src, uint64_t Tag);
+
+  /// Nonblocking progress pump — the overlap window. The rank runtime
+  /// calls this from inside compute nodes so posted sends complete while
+  /// computation proceeds.
+  void progress();
+
+  /// Blocks until every posted byte has been handed to the peer (bounded
+  /// by the watchdog).
+  void flush();
+
+  /// True when some frame sits undelivered in the tag-matched queues —
+  /// at shutdown this means the send/recv sets were not dual.
+  bool hasUndelivered() const { return !Inbox.empty(); }
+
+  const TransportStats &stats() const { return Stats; }
+  int watchdogMs() const { return Watchdog; }
+
+protected:
+  Transport(unsigned Rank, unsigned NP);
+
+  /// Queues/writes one encoded frame. Span memory is only valid during
+  /// the call. \p ComputeContext attributes immediately-flushed bytes.
+  virtual void sendFrame(unsigned Dst, const ByteSpan *Parts,
+                         size_t NumParts, bool ComputeContext) = 0;
+  /// Drives I/O for at most \p TimeoutMs (0 = poll only), delivering
+  /// complete frames via deliverFrame(). Returns true if any byte moved
+  /// or frame arrived.
+  virtual bool pump(int TimeoutMs, bool ComputeContext) = 0;
+  /// True when no posted bytes remain buffered.
+  virtual bool allFlushed() const = 0;
+
+  /// Validates one complete received frame (header + payload) arriving on
+  /// \p FromChannel and queues its payload for recv(). Throws
+  /// TransportError on any mismatch.
+  void deliverFrame(unsigned FromChannel, const uint8_t *Frame, size_t Len);
+
+  void markPeerDead(unsigned Peer, const std::string &Why);
+  bool peerDead(unsigned Peer) const { return Dead[Peer] != 0; }
+  const std::string &deadWhy(unsigned Peer) const { return DeadWhy[Peer]; }
+
+  std::string where() const; ///< "rank R" prefix for diagnostics
+
+  TransportStats Stats;
+
+private:
+  unsigned Rank, NP;
+  int Watchdog;
+  FaultInjector Faults;
+  std::vector<uint64_t> NextSendSeq, NextRecvSeq;
+  std::map<std::pair<unsigned, uint64_t>, std::deque<std::vector<uint8_t>>>
+      Inbox;
+  std::vector<char> Dead;
+  std::vector<std::string> DeadWhy;
+};
+
+} // namespace net
+} // namespace dhpf
+
+#endif // DHPF_NET_NET_H

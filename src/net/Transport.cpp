@@ -1,0 +1,364 @@
+//===- net/Transport.cpp - Shared framing, validation, fault injection ---===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Net.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+using namespace dhpf;
+using namespace dhpf::net;
+
+//===----------------------------------------------------------------------===//
+// Frame encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void put32(uint8_t *&P, uint32_t V) {
+  std::memcpy(P, &V, 4);
+  P += 4;
+}
+void put64(uint8_t *&P, uint64_t V) {
+  std::memcpy(P, &V, 8);
+  P += 8;
+}
+uint32_t get32(const uint8_t *&P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  P += 4;
+  return V;
+}
+uint64_t get64(const uint8_t *&P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  P += 8;
+  return V;
+}
+
+int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+void net::encodeHeader(const FrameHeader &H, uint8_t Out[FrameHeaderBytes]) {
+  uint8_t *P = Out;
+  put32(P, H.Magic);
+  put32(P, H.PayloadLen);
+  put32(P, H.Src);
+  put32(P, H.Dst);
+  put64(P, H.Tag);
+  put64(P, H.Seq);
+  put64(P, H.Checksum);
+}
+
+FrameHeader net::decodeHeader(const uint8_t In[FrameHeaderBytes]) {
+  const uint8_t *P = In;
+  FrameHeader H;
+  H.Magic = get32(P);
+  H.PayloadLen = get32(P);
+  H.Src = get32(P);
+  H.Dst = get32(P);
+  H.Tag = get64(P);
+  H.Seq = get64(P);
+  H.Checksum = get64(P);
+  return H;
+}
+
+uint64_t net::fnv1aAccum(uint64_t H, const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+FaultInjector FaultInjector::parse(const std::string &Spec, unsigned Rank) {
+  FaultInjector F;
+  uint64_t Seed = 1;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Item = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      throw TransportError("bad DHPF_NET_FAULT item '" + Item +
+                           "' (want key=value)");
+    std::string Key = Item.substr(0, Eq), Val = Item.substr(Eq + 1);
+    char *End = nullptr;
+    double D = std::strtod(Val.c_str(), &End);
+    if (End != Val.c_str() + Val.size() || Val.empty())
+      throw TransportError("bad DHPF_NET_FAULT value '" + Item + "'");
+    if (Key == "drop")
+      F.Drop = D;
+    else if (Key == "dup")
+      F.Dup = D;
+    else if (Key == "trunc")
+      F.Trunc = D;
+    else if (Key == "corrupt")
+      F.Corrupt = D;
+    else if (Key == "seed")
+      Seed = static_cast<uint64_t>(D);
+    else if (Key == "after")
+      F.After = static_cast<uint64_t>(D);
+    else
+      throw TransportError("unknown DHPF_NET_FAULT key '" + Key + "'");
+  }
+  // splitmix-style per-rank stream seeding: independent ranks draw
+  // independent (but reproducible) fates.
+  F.State = (Seed + 1) * 0x9e3779b97f4a7c15ull + Rank * 0xbf58476d1ce4e5b9ull;
+  if (F.State == 0)
+    F.State = 1;
+  return F;
+}
+
+FaultInjector FaultInjector::fromEnv(unsigned Rank) {
+  const char *S = std::getenv("DHPF_NET_FAULT");
+  return S ? parse(S, Rank) : FaultInjector();
+}
+
+double FaultInjector::uniform() {
+  // xorshift64*: deterministic across platforms, no <random> state size
+  // concerns.
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return double((State * 0x2545f4914f6cdd1dull) >> 11) / double(1ull << 53);
+}
+
+FaultInjector::Action FaultInjector::next() {
+  uint64_t N = Sent++;
+  if (!enabled() || N < After)
+    return Action::None;
+  double U = uniform();
+  if (U < Drop)
+    return Action::Drop;
+  if (U < Drop + Dup)
+    return Action::Duplicate;
+  if (U < Drop + Dup + Trunc)
+    return Action::Truncate;
+  if (U < Drop + Dup + Trunc + Corrupt)
+    return Action::Corrupt;
+  return Action::None;
+}
+
+//===----------------------------------------------------------------------===//
+// Transport
+//===----------------------------------------------------------------------===//
+
+Transport::Transport(unsigned RankIn, unsigned NPIn)
+    : Rank(RankIn), NP(NPIn), Watchdog(10000),
+      Faults(FaultInjector::fromEnv(RankIn)), NextSendSeq(NPIn, 0),
+      NextRecvSeq(NPIn, 0), Dead(NPIn, 0), DeadWhy(NPIn) {
+  if (const char *S = std::getenv("DHPF_NET_TIMEOUT_MS")) {
+    long V = std::strtol(S, nullptr, 10);
+    if (V > 0)
+      Watchdog = static_cast<int>(V);
+  }
+}
+
+Transport::~Transport() = default;
+
+std::string Transport::where() const {
+  return "rank " + std::to_string(Rank);
+}
+
+void Transport::post(unsigned Dst, uint64_t Tag, const ByteSpan *Parts,
+                     size_t NumParts) {
+  if (Dst >= NP || Dst == Rank)
+    throw TransportError(where() + ": post to invalid rank " +
+                         std::to_string(Dst));
+  if (peerDead(Dst))
+    throw TransportError(where() + ": post to dead rank " +
+                         std::to_string(Dst) + " (" + DeadWhy[Dst] + ")");
+
+  FrameHeader H;
+  H.Src = Rank;
+  H.Dst = Dst;
+  H.Tag = Tag;
+  H.Seq = NextSendSeq[Dst]++;
+  uint64_t Sum = fnv1aInit();
+  size_t PayloadLen = 0;
+  for (size_t I = 0; I != NumParts; ++I) {
+    Sum = fnv1aAccum(Sum, Parts[I].Data, Parts[I].Len);
+    PayloadLen += Parts[I].Len;
+  }
+  if (PayloadLen > MaxFramePayload)
+    throw TransportError(where() + ": frame payload too large");
+  H.PayloadLen = static_cast<uint32_t>(PayloadLen);
+  H.Checksum = Sum;
+  uint8_t Hdr[FrameHeaderBytes];
+  encodeHeader(H, Hdr);
+
+  FaultInjector::Action Fate = FaultInjector::Action::None;
+  if (Faults.enabled()) {
+    Fate = Faults.next();
+    if (Fate != FaultInjector::Action::None)
+      ++Stats.FaultsInjected;
+  }
+  if (Fate == FaultInjector::Action::Drop) {
+    // The sequence number was consumed: the receiver sees a gap.
+    return;
+  }
+  if (Fate == FaultInjector::Action::None) {
+    std::vector<ByteSpan> All(NumParts + 1);
+    All[0] = {Hdr, FrameHeaderBytes};
+    for (size_t I = 0; I != NumParts; ++I)
+      All[I + 1] = Parts[I];
+    sendFrame(Dst, All.data(), All.size(), /*ComputeContext=*/false);
+  } else {
+    // Materialize the frame so the fault can mutate it.
+    std::vector<uint8_t> Buf(FrameHeaderBytes + PayloadLen);
+    std::memcpy(Buf.data(), Hdr, FrameHeaderBytes);
+    size_t Off = FrameHeaderBytes;
+    for (size_t I = 0; I != NumParts; ++I) {
+      std::memcpy(Buf.data() + Off, Parts[I].Data, Parts[I].Len);
+      Off += Parts[I].Len;
+    }
+    switch (Fate) {
+    case FaultInjector::Action::Duplicate: {
+      ByteSpan S{Buf.data(), Buf.size()};
+      sendFrame(Dst, &S, 1, false);
+      sendFrame(Dst, &S, 1, false); // same seq twice: receiver diagnoses
+      break;
+    }
+    case FaultInjector::Action::Truncate: {
+      // Keep the header intact but cut payload bytes: a length-framed
+      // stream either stalls (watchdog) or desynchronizes (bad magic).
+      size_t Cut = PayloadLen > 0 ? (PayloadLen + 1) / 2 : 0;
+      ByteSpan S{Buf.data(), Buf.size() - Cut};
+      sendFrame(Dst, &S, 1, false);
+      break;
+    }
+    case FaultInjector::Action::Corrupt: {
+      if (PayloadLen > 0)
+        Buf[FrameHeaderBytes + PayloadLen / 2] ^= 0x40;
+      else
+        Buf[8] ^= 0x01; // no payload: damage the src field instead
+      ByteSpan S{Buf.data(), Buf.size()};
+      sendFrame(Dst, &S, 1, false);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  ++Stats.FramesSent;
+  Stats.WireBytesSent += FrameHeaderBytes + PayloadLen;
+}
+
+void Transport::deliverFrame(unsigned FromChannel, const uint8_t *Frame,
+                             size_t Len) {
+  std::string From = " from rank " + std::to_string(FromChannel);
+  if (Len < FrameHeaderBytes)
+    throw TransportError(where() + ": truncated frame header" + From);
+  FrameHeader H = decodeHeader(Frame);
+  if (H.Magic != FrameMagic)
+    throw TransportError(where() + ": garbled frame stream" + From +
+                         " (bad magic)");
+  if (H.PayloadLen != Len - FrameHeaderBytes)
+    throw TransportError(where() + ": truncated frame" + From + " (header "
+                         "promises " + std::to_string(H.PayloadLen) +
+                         " payload bytes, got " +
+                         std::to_string(Len - FrameHeaderBytes) + ")");
+  if (H.Src != FromChannel || H.Dst != Rank)
+    throw TransportError(where() + ": misrouted frame" + From + " (header "
+                         "says " + std::to_string(H.Src) + " -> " +
+                         std::to_string(H.Dst) + ")");
+  uint64_t Sum =
+      fnv1aAccum(fnv1aInit(), Frame + FrameHeaderBytes, H.PayloadLen);
+  if (Sum != H.Checksum)
+    throw TransportError(where() + ": corrupted frame" + From + " (tag " +
+                         std::to_string(H.Tag) + ", bad checksum)");
+  uint64_t &Expect = NextRecvSeq[FromChannel];
+  if (H.Seq < Expect)
+    throw TransportError(where() + ": duplicated frame" + From + " (tag " +
+                         std::to_string(H.Tag) + ", seq " +
+                         std::to_string(H.Seq) + " seen again)");
+  if (H.Seq > Expect)
+    throw TransportError(
+        where() + ": sequence gap" + From + " (expected seq " +
+        std::to_string(Expect) + ", got " + std::to_string(H.Seq) +
+        " — a frame was dropped)");
+  ++Expect;
+  ++Stats.FramesRecvd;
+  Stats.WireBytesRecvd += Len;
+  Inbox[{FromChannel, H.Tag}].emplace_back(Frame + FrameHeaderBytes,
+                                           Frame + Len);
+}
+
+void Transport::markPeerDead(unsigned Peer, const std::string &Why) {
+  if (!Dead[Peer]) {
+    Dead[Peer] = 1;
+    DeadWhy[Peer] = Why;
+  }
+}
+
+bool Transport::canRecv(unsigned Src, uint64_t Tag) {
+  pump(0, /*ComputeContext=*/false);
+  auto It = Inbox.find({Src, Tag});
+  return It != Inbox.end() && !It->second.empty();
+}
+
+std::vector<uint8_t> Transport::recv(unsigned Src, uint64_t Tag) {
+  if (Src >= NP || Src == Rank)
+    throw TransportError(where() + ": recv from invalid rank " +
+                         std::to_string(Src));
+  int64_t Deadline = nowMs() + Watchdog;
+  for (;;) {
+    auto It = Inbox.find({Src, Tag});
+    if (It != Inbox.end() && !It->second.empty()) {
+      std::vector<uint8_t> Payload = std::move(It->second.front());
+      It->second.pop_front();
+      if (It->second.empty())
+        Inbox.erase(It);
+      return Payload;
+    }
+    // Peer death only matters once we are actually waiting on that peer:
+    // an EOF seen while idly pumping is a normal shutdown race.
+    if (peerDead(Src))
+      throw TransportError(where() + ": rank " + std::to_string(Src) +
+                           " died before sending tag " +
+                           std::to_string(Tag) + " (" + DeadWhy[Src] + ")");
+    int64_t Left = Deadline - nowMs();
+    if (Left <= 0)
+      throw TransportError(
+          where() + ": watchdog timeout (" + std::to_string(Watchdog) +
+          " ms) waiting for tag " + std::to_string(Tag) + " from rank " +
+          std::to_string(Src) + " — message lost or peer hung");
+    pump(static_cast<int>(Left < 50 ? Left : 50), false);
+  }
+}
+
+void Transport::progress() {
+  ++Stats.ProgressCalls;
+  pump(0, /*ComputeContext=*/true);
+}
+
+void Transport::flush() {
+  int64_t Deadline = nowMs() + Watchdog;
+  while (!allFlushed()) {
+    if (nowMs() >= Deadline)
+      throw TransportError(where() + ": watchdog timeout (" +
+                           std::to_string(Watchdog) +
+                           " ms) flushing posted sends — peer not reading");
+    pump(20, false);
+  }
+}

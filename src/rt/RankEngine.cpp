@@ -1,0 +1,477 @@
+//===- rt/RankEngine.cpp - Single-rank distributed executor --------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RankEngine.h"
+
+#include "cg/Ast.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <set>
+
+using namespace dhpf;
+using namespace dhpf::rt;
+using namespace dhpf::spmd;
+
+namespace {
+
+/// Tag spaces: comm events use their event id; reductions and the
+/// shutdown barrier live above every possible event id.
+constexpr uint64_t ReduceTagBase = 1ull << 32;
+constexpr uint64_t FinTag = 1ull << 33;
+
+/// Wire payload of one comm-event message:
+///   u8 kind (1 = contiguous span, 0 = packed)
+///   u64 count
+///   kind 1: i64 base, then count raw doubles
+///   kind 0: count i64 flat indices, then count raw doubles
+constexpr uint8_t KindPacked = 0;
+constexpr uint8_t KindContig = 1;
+
+void putU64(std::vector<uint8_t> &B, uint64_t V) {
+  uint8_t Tmp[8];
+  std::memcpy(Tmp, &V, 8);
+  B.insert(B.end(), Tmp, Tmp + 8);
+}
+
+uint64_t bitsOf(double D) {
+  uint64_t V;
+  std::memcpy(&V, &D, 8);
+  return V;
+}
+
+double doubleOf(uint64_t V) {
+  double D;
+  std::memcpy(&D, &V, 8);
+  return D;
+}
+
+} // namespace
+
+RankEngine::RankEngine(const SpmdProgram &ProgIn, RankConfig ConfigIn,
+                       net::Transport &TIn)
+    : Prog(ProgIn), Config(std::move(ConfigIn)), T(TIn),
+      Layout(resolveLayout(Prog, Config.Run)) {
+  if (Config.Rank >= Layout.NumProcs)
+    throw net::TransportError(
+        "rank " + std::to_string(Config.Rank) + " out of range (layout has " +
+        std::to_string(Layout.NumProcs) + " processors)");
+  if (T.size() != Layout.NumProcs)
+    throw net::TransportError(
+        "transport spans " + std::to_string(T.size()) +
+        " ranks but the layout needs " + std::to_string(Layout.NumProcs));
+  if (T.rank() != Config.Rank)
+    throw net::TransportError("transport rank mismatch");
+  Arrays = buildArrayStores(Prog, Config.Run, Layout);
+  Env = initialEnv(Prog, Layout, Config.Rank);
+  EventInPlace =
+      resolveEventInPlace(Prog, Layout, Result.InPlaceRuntimeUpgrades);
+}
+
+void RankEngine::setSemantics(int Id, StmtFn Fn) {
+  Semantics[Id] = std::move(Fn);
+}
+
+void RankEngine::initArray(
+    const std::string &Name,
+    const std::function<double(const std::vector<int64_t> &)> &Init) {
+  ArrayStore &A = Arrays.at(Name);
+  if (A.size() == 0)
+    return;
+  std::vector<int64_t> Idx(A.rank());
+  for (unsigned D = 0; D != A.rank(); ++D)
+    Idx[D] = A.lo(D);
+  for (;;) {
+    A.at(A.flatten(Idx)) = Init(Idx);
+    unsigned D = 0;
+    while (D < A.rank() && ++Idx[D] >= A.lo(D) + A.extent(D)) {
+      Idx[D] = A.lo(D);
+      ++D;
+    }
+    if (D == A.rank())
+      break;
+  }
+}
+
+const ArrayStore &RankEngine::array(const std::string &Name) const {
+  return Arrays.at(Name);
+}
+
+void RankEngine::violation(const std::string &Msg) {
+  Result.Valid = false;
+  if (Result.Violations.size() < 20)
+    Result.Violations.push_back(Msg);
+}
+
+double RankEngine::readElem(ArrayStore &A, const std::string &Array,
+                            int64_t Flat) {
+  unsigned P = Config.Rank;
+  if (A.Owner.empty() || A.Owner[Flat] == static_cast<int32_t>(P) ||
+      A.Owner[Flat] < 0)
+    return A.at(Flat);
+  auto &Ov = Overlay[Array];
+  auto It = Ov.find(Flat);
+  if (It != Ov.end())
+    return It->second;
+  auto &Pd = Pending[Array];
+  auto It2 = Pd.find(Flat);
+  if (It2 != Pd.end())
+    return It2->second;
+  if (Config.Run.CheckValidity)
+    violation("proc " + std::to_string(P) + " read unreceived element " +
+              std::to_string(Flat) + " of " + Array);
+  return A.at(Flat);
+}
+
+void RankEngine::writeElem(ArrayStore &A, const std::string &Array,
+                           int64_t Flat, double V) {
+  unsigned P = Config.Rank;
+  if (A.Owner.empty() || A.Owner[Flat] == static_cast<int32_t>(P) ||
+      A.Owner[Flat] < 0) {
+    A.at(Flat) = V;
+    return;
+  }
+  Pending[Array][Flat] = V;
+}
+
+void RankEngine::execCompute(const SpmdNode &N) {
+  std::vector<int64_t> WIdx;
+  std::vector<double> Reads;
+  cg::execute(*N.Loops, Env, [&](int Leaf, const std::vector<int64_t> &E) {
+    const CompiledStmt &S = Prog.Stmts[Leaf];
+    Reads.clear();
+    for (const CompiledStmt::Read &Rd : S.Reads) {
+      ArrayStore &RA = Arrays.at(Rd.Array);
+      std::vector<int64_t> Idx;
+      for (const cg::Expr &Sub : Rd.Subs)
+        Idx.push_back(Sub.eval(E));
+      Reads.push_back(readElem(RA, Rd.Array, RA.flatten(Idx)));
+    }
+    auto SemIt = Semantics.find(S.SemanticsId);
+    assert(SemIt != Semantics.end() && "statement without semantics");
+    double V = SemIt->second(Reads, E, Accums);
+    WIdx.clear();
+    for (const cg::Expr &Sub : S.WriteSubs)
+      WIdx.push_back(Sub.eval(E));
+    ArrayStore &WA = Arrays.at(S.WriteArray);
+    writeElem(WA, S.WriteArray, WA.flatten(WIdx), V);
+    ++Result.StmtInstances;
+    // The Figure 4 overlap window: drive posted sends forward while this
+    // rank computes its local iterations.
+    if (++StmtsSinceProgress >= Config.ProgressEveryStmts) {
+      StmtsSinceProgress = 0;
+      T.progress();
+    }
+  });
+}
+
+void RankEngine::execSend(const SpmdNode &N) {
+  const CommEvent &Ev = Prog.Events[N.EventId];
+  ArrayStore &A = Arrays.at(Ev.Array);
+  unsigned P = Config.Rank;
+  auto &Pd = Pending[Ev.Array];
+  // Identical enumeration to the in-process engines: ordered per-partner
+  // element lists, deduplicated (union conjuncts in the comm sets may
+  // overlap).
+  std::vector<unsigned> PartnerOrder;
+  std::map<unsigned, std::vector<std::pair<int64_t, double>>> Msgs;
+  std::map<unsigned, std::set<int64_t>> Seen;
+  std::map<unsigned, bool> NonLocal;
+  cg::execute(*Ev.SendLoops, Env, [&](int, const std::vector<int64_t> &E) {
+    std::vector<int64_t> PT, Idx;
+    for (unsigned S : Ev.PartnerSlots)
+      PT.push_back(E[S]);
+    for (unsigned S : Ev.ElemSlots)
+      Idx.push_back(E[S]);
+    if (!vpIsReal(Prog, Layout.ProcShape, Layout.AllBindings, PT))
+      return; // fictitious virtual processor
+    unsigned Q = vpPartnerRank(Prog, Layout.ProcShape, Layout.AllBindings, PT);
+    if (Q == P)
+      return; // VP neighbours on the same physical processor
+    int64_t Flat = A.flatten(Idx);
+    if (!Seen[Q].insert(Flat).second)
+      return;
+    if (Msgs.find(Q) == Msgs.end())
+      PartnerOrder.push_back(Q);
+    double V;
+    if (A.Owner.empty() || A.Owner[Flat] == static_cast<int32_t>(P) ||
+        A.Owner[Flat] < 0) {
+      V = A.at(Flat); // forwarding data I own (read comm)
+    } else {
+      NonLocal[Q] = true;
+      auto It = Pd.find(Flat);
+      if (It == Pd.end()) {
+        violation("proc " + std::to_string(P) +
+                  " sends unwritten non-local element of " + Ev.Array);
+        V = A.at(Flat);
+      } else {
+        V = It->second; // transmitting a non-local write
+      }
+    }
+    Msgs[Q].push_back({Flat, V});
+  });
+
+  for (unsigned Q : PartnerOrder) {
+    std::vector<std::pair<int64_t, double>> &Items = Msgs[Q];
+    std::sort(Items.begin(), Items.end()); // canonical flat order
+    const std::set<int64_t> &Fl = Seen[Q];
+    int64_t Base = *Fl.begin();
+    bool Contig =
+        *Fl.rbegin() - Base + 1 == static_cast<int64_t>(Fl.size());
+    bool Span = Contig && !NonLocal[Q];
+    if (Span)
+      ++Result.SpanCopies;
+    else
+      ++Result.PackedCopies;
+
+    uint64_t Tag = static_cast<uint64_t>(Ev.Id);
+    if (Span) {
+      // The Section 3.3 shape: a contiguous run of locally-owned storage.
+      // Post the data bytes straight from the array — zero copy.
+      std::vector<uint8_t> Meta;
+      Meta.push_back(KindContig);
+      putU64(Meta, Items.size());
+      putU64(Meta, static_cast<uint64_t>(Base));
+      net::ByteSpan Parts[2] = {
+          {Meta.data(), Meta.size()},
+          {A.data() + Base, Items.size() * sizeof(double)}};
+      T.post(Q, Tag, Parts, 2);
+    } else {
+      std::vector<uint8_t> Buf;
+      Buf.reserve(1 + 8 + Items.size() * 16);
+      Buf.push_back(Contig ? KindContig : KindPacked);
+      putU64(Buf, Items.size());
+      if (Contig) {
+        putU64(Buf, static_cast<uint64_t>(Base));
+      } else {
+        for (const auto &[F, V] : Items)
+          putU64(Buf, static_cast<uint64_t>(F));
+      }
+      for (const auto &[F, V] : Items)
+        putU64(Buf, bitsOf(V));
+      net::ByteSpan S{Buf.data(), Buf.size()};
+      T.post(Q, Tag, &S, 1);
+    }
+    // Logical counters match the simulated machine: the sender counts the
+    // message and its payload bytes; wire framing is tracked separately.
+    ++Result.Messages;
+    Result.Bytes += Items.size() * A.elemBytes();
+  }
+}
+
+void RankEngine::execRecv(const SpmdNode &N) {
+  const CommEvent &Ev = Prog.Events[N.EventId];
+  ArrayStore &A = Arrays.at(Ev.Array);
+  unsigned P = Config.Rank;
+  auto &Ov = Overlay[Ev.Array];
+  std::vector<unsigned> PartnerOrder;
+  std::map<unsigned, std::vector<int64_t>> Expect;
+  std::map<unsigned, std::set<int64_t>> Seen;
+  cg::execute(*Ev.RecvLoops, Env, [&](int, const std::vector<int64_t> &E) {
+    std::vector<int64_t> PT, Idx;
+    for (unsigned S : Ev.PartnerSlots)
+      PT.push_back(E[S]);
+    for (unsigned S : Ev.ElemSlots)
+      Idx.push_back(E[S]);
+    if (!vpIsReal(Prog, Layout.ProcShape, Layout.AllBindings, PT))
+      return;
+    unsigned Q = vpPartnerRank(Prog, Layout.ProcShape, Layout.AllBindings, PT);
+    if (Q == P)
+      return;
+    int64_t Flat = A.flatten(Idx);
+    if (!Seen[Q].insert(Flat).second)
+      return;
+    if (Expect.find(Q) == Expect.end())
+      PartnerOrder.push_back(Q);
+    Expect[Q].push_back(Flat);
+  });
+
+  for (unsigned Q : PartnerOrder) {
+    std::vector<int64_t> &Flats = Expect[Q];
+    std::vector<uint8_t> Pay = T.recv(Q, static_cast<uint64_t>(Ev.Id));
+
+    // Decode; a malformed payload passed the checksum, so it is a sender
+    // logic error, not line noise.
+    auto Malformed = [&]() -> net::TransportError {
+      return net::TransportError("rank " + std::to_string(P) +
+                                 ": malformed payload from rank " +
+                                 std::to_string(Q) + " for event " +
+                                 std::to_string(Ev.Id));
+    };
+    if (Pay.size() < 9)
+      throw Malformed();
+    uint8_t Kind = Pay[0];
+    uint64_t Count;
+    std::memcpy(&Count, Pay.data() + 1, 8);
+    size_t Need = Kind == KindContig ? 9 + 8 + Count * 8 : 9 + Count * 16;
+    if ((Kind != KindContig && Kind != KindPacked) || Pay.size() != Need)
+      throw Malformed();
+    std::unordered_map<int64_t, double> Got;
+    Got.reserve(Count);
+    if (Kind == KindContig) {
+      uint64_t BaseU;
+      std::memcpy(&BaseU, Pay.data() + 9, 8);
+      int64_t Base = static_cast<int64_t>(BaseU);
+      const uint8_t *V = Pay.data() + 17;
+      for (uint64_t I = 0; I != Count; ++I, V += 8) {
+        uint64_t Bits;
+        std::memcpy(&Bits, V, 8);
+        Got.emplace(Base + static_cast<int64_t>(I), doubleOf(Bits));
+      }
+    } else {
+      const uint8_t *F = Pay.data() + 9;
+      const uint8_t *V = Pay.data() + 9 + Count * 8;
+      for (uint64_t I = 0; I != Count; ++I, F += 8, V += 8) {
+        uint64_t Flat, Bits;
+        std::memcpy(&Flat, F, 8);
+        std::memcpy(&Bits, V, 8);
+        Got.emplace(static_cast<int64_t>(Flat), doubleOf(Bits));
+      }
+    }
+
+    // Validation identical to the in-process engines.
+    if (Got.size() != Flats.size())
+      violation("message size mismatch for event " + std::to_string(Ev.Id) +
+                " (" + std::to_string(Got.size()) + " sent vs " +
+                std::to_string(Flats.size()) + " expected)");
+    for (int64_t F : Flats) {
+      auto It = Got.find(F);
+      if (It == Got.end()) {
+        violation("expected element missing from message (event " +
+                  std::to_string(Ev.Id) + ")");
+        continue;
+      }
+      if (!A.Owner.empty() && A.Owner[F] == static_cast<int32_t>(P))
+        A.at(F) = It->second; // a remote write reaching its owner
+      else
+        Ov[F] = It->second;
+    }
+  }
+}
+
+void RankEngine::execReduce(const SpmdNode &N) {
+  unsigned NP = Layout.NumProcs, P = Config.Rank;
+  uint64_t Tag = ReduceTagBase + ReduceSeq++;
+  double Own = Accums[N.RedName];
+  double Combined;
+  if (NP == 1) {
+    Combined = N.RedOp == SpmdNode::ReduceOp::Max
+                   ? std::max(-std::numeric_limits<double>::infinity(), Own)
+                   : Own;
+  } else if (P == 0) {
+    // Gather; combine in rank order 0..NP-1, exactly the in-process
+    // combine order, so double rounding is bit-identical.
+    Combined = N.RedOp == SpmdNode::ReduceOp::Max
+                   ? -std::numeric_limits<double>::infinity()
+                   : 0.0;
+    Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, Own)
+                                                  : Combined + Own;
+    for (unsigned Q = 1; Q != NP; ++Q) {
+      std::vector<uint8_t> Pay = T.recv(Q, Tag);
+      if (Pay.size() != 8)
+        throw net::TransportError("rank 0: malformed reduce contribution "
+                                  "from rank " +
+                                  std::to_string(Q));
+      uint64_t Bits;
+      std::memcpy(&Bits, Pay.data(), 8);
+      double V = doubleOf(Bits);
+      Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, V)
+                                                    : Combined + V;
+    }
+    uint64_t Bits = bitsOf(Combined);
+    for (unsigned Q = 1; Q != NP; ++Q) {
+      net::ByteSpan S{&Bits, 8};
+      T.post(Q, Tag, &S, 1);
+    }
+  } else {
+    uint64_t Bits = bitsOf(Own);
+    net::ByteSpan S{&Bits, 8};
+    T.post(0, Tag, &S, 1);
+    std::vector<uint8_t> Pay = T.recv(0, Tag);
+    if (Pay.size() != 8)
+      throw net::TransportError("rank " + std::to_string(P) +
+                                ": malformed reduce result from rank 0");
+    uint64_t Got;
+    std::memcpy(&Got, Pay.data(), 8);
+    Combined = doubleOf(Got);
+  }
+  Accums[N.RedName] = Combined;
+  Result.FinalAccums[N.RedName] = Combined;
+  // Logical accounting mirrors sim::Machine::allReduce: P messages total
+  // for the collective, no payload bytes — one per rank.
+  if (NP > 1)
+    ++Result.Messages;
+}
+
+void RankEngine::execNode(const SpmdNode &N) {
+  switch (N.K) {
+  case SpmdNode::Kind::Seq:
+    for (const auto &C : N.Children)
+      execNode(*C);
+    break;
+  case SpmdNode::Kind::TimeLoop: {
+    int64_t Lo = N.SeqLo.eval(Env), Hi = N.SeqHi.eval(Env);
+    for (int64_t V = Lo; V <= Hi; ++V) {
+      Env[N.SeqSlot] = V;
+      for (const auto &C : N.Children)
+        execNode(*C);
+    }
+    break;
+  }
+  case SpmdNode::Kind::Compute:
+    execCompute(N);
+    break;
+  case SpmdNode::Kind::Send:
+    execSend(N);
+    break;
+  case SpmdNode::Kind::Recv:
+    execRecv(N);
+    break;
+  case SpmdNode::Kind::Reduce:
+    execReduce(N);
+    break;
+  }
+}
+
+void RankEngine::finish() {
+  unsigned NP = Layout.NumProcs, P = Config.Rank;
+  if (NP > 1) {
+    // Drain the user-space send queues, then a FIN handshake with every
+    // peer: the per-stream FIFO guarantees all data frames precede the
+    // FIN, so leftover queued frames below really are undeliverable.
+    T.flush();
+    uint8_t Fin = 0xF1;
+    for (unsigned Q = 0; Q != NP; ++Q) {
+      if (Q == P)
+        continue;
+      net::ByteSpan S{&Fin, 1};
+      T.post(Q, FinTag, &S, 1);
+    }
+    T.flush();
+    for (unsigned Q = 0; Q != NP; ++Q)
+      if (Q != P)
+        T.recv(Q, FinTag);
+  }
+  if (T.hasUndelivered())
+    violation("unconsumed messages remain (send/recv sets are not dual)");
+}
+
+RunResult RankEngine::run() {
+  auto Start = std::chrono::steady_clock::now();
+  execNode(*Prog.Root);
+  finish();
+  Result.ElapsedSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  const net::TransportStats &St = T.stats();
+  Result.OverlapRatio =
+      St.WireBytesSent
+          ? double(St.BytesFlushedDuringCompute) / double(St.WireBytesSent)
+          : 0.0;
+  return Result;
+}

@@ -1,0 +1,117 @@
+//===- rt/RankEngine.h - Single-rank distributed executor ----------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes ONE rank of a compiled SPMD program in its own address space,
+/// mapping the compiler's send/recv events onto net::Transport operations —
+/// the node program the paper actually generates for a distributed-memory
+/// machine. The engine mirrors the in-process Interpreter decision for
+/// decision (same layout resolution, same per-partner enumeration and
+/// deduplication, same ownership checks, same reduction combine order), so
+/// P cooperating RankEngines produce results bit-identical to the
+/// in-process engines running all P ranks in one address space.
+///
+/// Communication follows the Figure 4 discipline: a Send node posts every
+/// message nonblocking and returns; the following Compute node (the
+/// localIters loop) pumps the transport's progress engine between
+/// statement instances, so posted bytes drain while computation proceeds.
+/// A message whose deduplicated element set is a contiguous span of
+/// locally-owned storage — the shape the Section 3.3 analysis proves, plus
+/// the injected runtime checks — is posted zero-copy straight from array
+/// storage.
+///
+/// Reductions gather to rank 0, combine in rank order 0..P-1 (the
+/// in-process combine order, so double rounding is bit-identical), and
+/// broadcast the result bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_RT_RANKENGINE_H
+#define DHPF_RT_RANKENGINE_H
+
+#include "net/Net.h"
+#include "spmd/Interp.h"
+#include "spmd/Layout.h"
+#include "spmd/SpmdProgram.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dhpf {
+namespace rt {
+
+struct RankConfig {
+  spmd::RunConfig Run;
+  unsigned Rank = 0;
+  /// Pump the transport progress engine every N statement instances
+  /// inside compute nodes (the overlap window).
+  unsigned ProgressEveryStmts = 256;
+};
+
+class RankEngine : public spmd::ProgramHost {
+public:
+  /// \p T must span the same number of ranks the resolved layout yields;
+  /// mismatches throw net::TransportError before anything runs.
+  RankEngine(const spmd::SpmdProgram &Prog, RankConfig Config,
+             net::Transport &T);
+
+  void setSemantics(int Id, spmd::StmtFn Fn) override;
+  void initArray(const std::string &Name,
+                 const std::function<double(const std::vector<int64_t> &)>
+                     &Init) override;
+
+  /// Runs this rank's part of the whole program; callable once. Counters
+  /// in the result are rank-local (summing over ranks reproduces the
+  /// in-process totals); transport failures propagate as TransportError.
+  spmd::RunResult run();
+
+  unsigned rank() const { return Config.Rank; }
+  unsigned numProcs() const { return Layout.NumProcs; }
+
+  /// Post-run access for result dumping.
+  const spmd::ArrayStore &array(const std::string &Name) const;
+  const std::map<std::string, spmd::ArrayStore> &arrays() const {
+    return Arrays;
+  }
+
+private:
+  const spmd::SpmdProgram &Prog;
+  RankConfig Config;
+  net::Transport &T;
+  spmd::ProgramLayout Layout;
+
+  std::map<std::string, spmd::ArrayStore> Arrays;
+  std::map<int, spmd::StmtFn> Semantics;
+  std::vector<int64_t> Env; ///< this rank's variable environment
+  spmd::AccumMap Accums;
+  std::map<std::string, std::unordered_map<int64_t, double>> Overlay;
+  std::map<std::string, std::unordered_map<int64_t, double>> Pending;
+  std::vector<char> EventInPlace;
+  uint64_t ReduceSeq = 0;  ///< reduce instance counter (tag sync)
+  uint64_t StmtsSinceProgress = 0;
+
+  spmd::RunResult Result;
+
+  void execNode(const spmd::SpmdNode &N);
+  void execCompute(const spmd::SpmdNode &N);
+  void execSend(const spmd::SpmdNode &N);
+  void execRecv(const spmd::SpmdNode &N);
+  void execReduce(const spmd::SpmdNode &N);
+  void finish(); ///< flush, FIN barrier, leftover-message check
+
+  void violation(const std::string &Msg);
+  double readElem(spmd::ArrayStore &A, const std::string &Array,
+                  int64_t Flat);
+  void writeElem(spmd::ArrayStore &A, const std::string &Array,
+                 int64_t Flat, double V);
+};
+
+} // namespace rt
+} // namespace dhpf
+
+#endif // DHPF_RT_RANKENGINE_H

@@ -593,6 +593,7 @@ void PlanExecutor::runSend(const PlanNode &N) {
       Payload Pay;
       Pay.Base = PL.Base;
       Pay.Contig = PL.Contig;
+      Pay.Span = PL.Own == PartnerList::OwnClass::AllLocal && PL.Contig;
       Pay.Vals.resize(F.size());
       if (PL.Own == PartnerList::OwnClass::AllLocal && PL.Contig) {
         // Zero-copy span gather: the Section 3.3 analysis promised this
@@ -637,6 +638,10 @@ void PlanExecutor::runSend(const PlanNode &N) {
     S.Viol.clear();
     for (size_t K = 0; K != S.Out.size(); ++K) {
       Payload &Pay = S.Out[K];
+      if (Pay.Span)
+        ++I.Result.SpanCopies;
+      else
+        ++I.Result.PackedCopies;
       uint64_t Bytes = Pay.count() * Arr.elemBytes();
       uint64_t PackBytes = EP.InPlace ? 0 : Bytes;
       I.Mach.send(P, S.OutQ[K], static_cast<uint64_t>(EP.Id), Bytes,

@@ -168,6 +168,9 @@ private:
     std::vector<double> Vals;
     int64_t Base = 0;
     bool Contig = false;
+    /// Gathered as a contiguous span of locally-owned storage (the
+    /// Section 3.3 shape) — feeds RunResult::SpanCopies.
+    bool Span = false;
     size_t count() const { return Vals.size(); }
   };
 

@@ -7,6 +7,7 @@
 #include "spmd/Interp.h"
 
 #include "spmd/ExecPlan.h"
+#include "spmd/Layout.h"
 #include "support/MathExtras.h"
 #include "support/ThreadPool.h"
 
@@ -38,48 +39,14 @@ ArrayStore::ArrayStore(std::vector<int64_t> LoV, std::vector<int64_t> ExtentV,
 // Setup
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-int64_t evalAffine(const AffineExpr &E,
-                   const std::map<std::string, int64_t> &Bind) {
-  int64_t V = E.K;
-  for (auto &[Name, Coef] : E.Terms) {
-    auto It = Bind.find(Name);
-    assert(It != Bind.end() && "unbound parameter in affine expression");
-    V = addOv(V, mulOv(Coef, It->second));
-  }
-  return V;
-}
-
-} // namespace
-
 Interpreter::Interpreter(const SpmdProgram &ProgIn, RunConfig ConfigIn)
     : Prog(ProgIn), Config(std::move(ConfigIn)),
       Mach(1, Config.Machine) /* resized below */ {
-  assert(Prog.Source && "compiled program lost its source");
-  // Processor shape.
-  if (!Prog.ProcName.empty()) {
-    const ProcArray &PA = Prog.Source->procArray(Prog.ProcName);
-    auto It = Config.ProcExtents.find(Prog.ProcName);
-    for (unsigned D = 0; D != PA.rank(); ++D) {
-      if (PA.Dims[D].isSymbolic()) {
-        assert(It != Config.ProcExtents.end() &&
-               "symbolic processor array needs extents at run time");
-        ProcShape.push_back(It->second[D]);
-      } else {
-        ProcShape.push_back(PA.Dims[D].Fixed);
-        if (It != Config.ProcExtents.end())
-          assert(It->second[D] == PA.Dims[D].Fixed &&
-                 "fixed extent overridden inconsistently");
-      }
-    }
-  }
-  NumProcs = 1;
-  for (int64_t E : ProcShape)
-    NumProcs *= E;
+  ProgramLayout L = resolveLayout(Prog, Config);
+  ProcShape = L.ProcShape;
+  NumProcs = L.NumProcs;
+  AllBindings = std::move(L.AllBindings);
   Mach = sim::Machine(NumProcs, Config.Machine);
-  AllBindings = MapBuilder(*Prog.Source)
-                    .layoutBindings(Config.Params, Config.ProcExtents);
   setupArrays();
   setupEnvs();
   setupInPlace();
@@ -112,21 +79,9 @@ EngineKind Interpreter::resolveEngine(EngineKind E) {
 }
 
 void Interpreter::setupInPlace() {
-  EventInPlace.assign(Prog.Events.size(), 0);
-  for (unsigned EI = 0; EI != Prog.Events.size(); ++EI) {
-    const CommEvent &Ev = Prog.Events[EI];
-    bool InPlace = Ev.InPlaceProven;
-    // The synthesized Section 3.3 runtime check: an undecided compile-time
-    // verdict may become contiguous under this run's concrete bindings.
-    // Both engines consult the same flags, so simulated pack costs agree.
-    if (!InPlace && Prog.InPlaceRuntimeCheck &&
-        Ev.InPlace.Verdict == core::InPlaceVerdict::RuntimeCheck &&
-        Prog.InPlaceRuntimeCheck(Ev.InPlace, AllBindings)) {
-      InPlace = true;
-      ++Result.InPlaceRuntimeUpgrades;
-    }
-    EventInPlace[EI] = InPlace ? 1 : 0;
-  }
+  EventInPlace =
+      resolveEventInPlace(Prog, {ProcShape, NumProcs, AllBindings},
+                          Result.InPlaceRuntimeUpgrades);
 }
 
 void Interpreter::setSemantics(int Id, StmtFn Fn) {
@@ -155,192 +110,27 @@ void Interpreter::initArray(
 }
 
 void Interpreter::setupArrays() {
-  const Program &P = *Prog.Source;
-  const std::map<std::string, int64_t> &All = AllBindings;
-
-  for (const auto &[Name, Decl] : P.arrays()) {
-    std::vector<int64_t> Lo, Extent;
-    for (const DimRange &R : Decl.Dims) {
-      int64_t L = evalAffine(R.Lo, All), H = evalAffine(R.Hi, All);
-      Lo.push_back(L);
-      Extent.push_back(H - L + 1);
-    }
-    ArrayStore Store(Lo, Extent, Decl.ElemBytes);
-
-    // Ownership, computed independently of the set framework (direct
-    // block/cyclic formulas) so it cross-checks the compiled sets.
-    const Align *Al = P.alignOf(Name);
-    if (Al) {
-      const TemplateDecl &T = P.templateDecl(Al->TemplateName);
-      const Distribute &D = P.distributeOf(Al->TemplateName);
-      auto ExtIt = Config.ProcExtents.find(D.ProcName);
-      const ProcArray &PA = P.procArray(D.ProcName);
-      std::vector<int64_t> PExt;
-      for (unsigned I = 0; I != PA.rank(); ++I)
-        PExt.push_back(PA.Dims[I].isSymbolic() ? ExtIt->second[I]
-                                               : PA.Dims[I].Fixed);
-      Store.Owner.assign(Store.size(), -1);
-      std::vector<int64_t> Idx(Decl.rank());
-      for (unsigned DD = 0; DD != Decl.rank(); ++DD)
-        Idx[DD] = Lo[DD];
-      for (;;) {
-        // Owner coordinates along each distributed template dimension.
-        int64_t Rank = 0, Mult = 1;
-        unsigned PDim = 0;
-        bool Known = true;
-        for (unsigned TD = 0; TD != T.rank(); ++TD) {
-          const DistSpec &Spec = D.Specs[TD];
-          if (Spec.K == DistSpec::Kind::Star)
-            continue;
-          const AlignTerm &AT = Al->Terms[TD];
-          assert(AT.K != AlignTerm::Kind::Replicated &&
-                 "replicated alignment on a distributed dimension");
-          int64_t Tpos = AT.K == AlignTerm::Kind::Constant
-                             ? AT.Constant
-                             : AT.Stride * Idx[AT.ArrayDim] + AT.Offset;
-          int64_t TLo = evalAffine(T.Dims[TD].Lo, All);
-          int64_t THi = evalAffine(T.Dims[TD].Hi, All);
-          int64_t PN = PExt[PDim];
-          int64_t Coord = 0;
-          switch (Spec.K) {
-          case DistSpec::Kind::Block: {
-            int64_t B = ceilDiv(THi - TLo + 1, PN);
-            Coord = (Tpos - TLo) / B;
-            break;
-          }
-          case DistSpec::Kind::Cyclic:
-            Coord = floorMod(Tpos - TLo, PN);
-            break;
-          case DistSpec::Kind::CyclicK:
-            Coord = floorMod((Tpos - TLo) / Spec.BlockK, PN);
-            break;
-          case DistSpec::Kind::Star:
-            break;
-          }
-          Rank += Coord * Mult;
-          Mult *= PN;
-          ++PDim;
-        }
-        if (Known)
-          Store.Owner[Store.flatten(Idx)] = static_cast<int32_t>(Rank);
-        unsigned DD = 0;
-        while (DD < Decl.rank() && ++Idx[DD] >= Lo[DD] + Extent[DD]) {
-          Idx[DD] = Lo[DD];
-          ++DD;
-        }
-        if (DD == Decl.rank())
-          break;
-      }
-    }
-    Arrays.emplace(Name, std::move(Store));
-  }
+  Arrays =
+      buildArrayStores(Prog, Config, {ProcShape, NumProcs, AllBindings});
 }
 
 unsigned Interpreter::rankOf(const std::vector<int64_t> &Coords) const {
-  int64_t R = 0, M = 1;
-  for (unsigned D = 0; D != Coords.size(); ++D) {
-    assert(Coords[D] >= 0 && Coords[D] < ProcShape[D]);
-    R += Coords[D] * M;
-    M *= ProcShape[D];
-  }
-  return static_cast<unsigned>(R);
+  return linearRank(ProcShape, Coords);
 }
 
 unsigned Interpreter::partnerRank(const std::vector<int64_t> &Partner) const {
-  std::vector<int64_t> Coords(Partner.size());
-  const std::map<std::string, int64_t> &All = AllBindings;
-  for (unsigned D = 0; D != Partner.size(); ++D) {
-    const VPDimInfo &Info = Prog.ProcDims[D];
-    if (!Info.Virtualized) {
-      Coords[D] = Partner[D];
-      continue;
-    }
-    switch (Info.Kind) {
-    case DistSpec::Kind::Block: {
-      int64_t B = All.at(Info.BlockParam);
-      Coords[D] = (Partner[D] - Info.TmplLo) / B;
-      break;
-    }
-    case DistSpec::Kind::Cyclic:
-      Coords[D] = floorMod(Partner[D] - Info.TmplLo, ProcShape[D]);
-      break;
-    case DistSpec::Kind::CyclicK:
-      Coords[D] =
-          floorMod((Partner[D] - Info.TmplLo) / Info.CyclicK, ProcShape[D]);
-      break;
-    case DistSpec::Kind::Star:
-      break;
-    }
-  }
-  return rankOf(Coords);
+  return vpPartnerRank(Prog, ProcShape, AllBindings, Partner);
 }
 
 bool Interpreter::isRealVP(const std::vector<int64_t> &Partner) const {
-  for (unsigned D = 0; D != Partner.size(); ++D) {
-    const VPDimInfo &Info = Prog.ProcDims[D];
-    if (!Info.Virtualized)
-      continue;
-    int64_t Off = Partner[D] - Info.TmplLo;
-    switch (Info.Kind) {
-    case DistSpec::Kind::Block: {
-      int64_t B = AllBindings.at(Info.BlockParam);
-      if (floorMod(Off, B) != 0 || Off / B >= ProcShape[D])
-        return false; // fictitious: not a block start, or past the array
-      break;
-    }
-    case DistSpec::Kind::Cyclic:
-      break; // every template cell is a real VP
-    case DistSpec::Kind::CyclicK:
-      if (floorMod(Off, Info.CyclicK) != 0)
-        return false; // not a block start
-      break;
-    case DistSpec::Kind::Star:
-      break;
-    }
-  }
-  return true;
+  return vpIsReal(Prog, ProcShape, AllBindings, Partner);
 }
 
 void Interpreter::setupEnvs() {
-  const std::map<std::string, int64_t> &All = AllBindings;
-  Env.assign(NumProcs, std::vector<int64_t>(Prog.Vars.size(), 0));
-  for (unsigned P = 0; P != NumProcs; ++P) {
-    // Parameters by name.
-    for (unsigned S = 0; S != Prog.Vars.size(); ++S) {
-      auto It = All.find(Prog.Vars.name(S));
-      if (It != All.end())
-        Env[P][S] = It->second;
-    }
-    // Representative-processor slots (mv*).
-    std::vector<int64_t> Coords(ProcShape.size());
-    unsigned R = P;
-    for (unsigned D = 0; D != ProcShape.size(); ++D) {
-      Coords[D] = R % ProcShape[D];
-      R /= ProcShape[D];
-    }
-    for (unsigned D = 0; D != Prog.MySlots.size(); ++D) {
-      const VPDimInfo &Info = Prog.ProcDims[D];
-      int64_t V = Coords[D];
-      if (Info.Virtualized) {
-        switch (Info.Kind) {
-        case DistSpec::Kind::Block:
-          V = All.at(Info.BlockParam) * Coords[D] + Info.TmplLo;
-          break;
-        case DistSpec::Kind::Cyclic:
-          V = Info.TmplLo + Coords[D]; // initial VP; VP loops re-bind
-          break;
-        case DistSpec::Kind::CyclicK:
-          V = Info.TmplLo + Info.CyclicK * Coords[D];
-          break;
-        case DistSpec::Kind::Star:
-          break;
-        }
-      }
-      Env[P][Prog.MySlots[D]] = V;
-    }
-    for (unsigned D = 0; D != Prog.CoordSlots.size(); ++D)
-      Env[P][Prog.CoordSlots[D]] = Coords[D];
-  }
+  Env.resize(NumProcs);
+  ProgramLayout L{ProcShape, NumProcs, AllBindings};
+  for (unsigned P = 0; P != NumProcs; ++P)
+    Env[P] = initialEnv(Prog, L, P);
 }
 
 //===----------------------------------------------------------------------===//
@@ -425,6 +215,9 @@ void Interpreter::execSend(const SpmdNode &N) {
     std::vector<unsigned> PartnerOrder;
     std::map<unsigned, std::vector<std::pair<int64_t, double>>> Msgs;
     std::map<unsigned, std::set<int64_t>> Seen;
+    // Per-partner: did any element come from Pending (a non-local write)?
+    // Such a message can never be gathered straight from array storage.
+    std::map<unsigned, bool> NonLocal;
     cg::execute(*Ev.SendLoops, Env[P],
                 [&](int, const std::vector<int64_t> &E) {
                   std::vector<int64_t> PT, Idx;
@@ -448,6 +241,7 @@ void Interpreter::execSend(const SpmdNode &N) {
                       A.Owner[Flat] < 0) {
                     V = A.at(Flat); // forwarding data I own (read comm)
                   } else {
+                    NonLocal[Q] = true;
                     auto It = Pd.find(Flat);
                     if (It == Pd.end()) {
                       violation("proc " + std::to_string(P) +
@@ -462,6 +256,16 @@ void Interpreter::execSend(const SpmdNode &N) {
                 });
     for (unsigned Q : PartnerOrder) {
       auto &Items = Msgs[Q];
+      // Section 3.3 message-shape classification, identical in every
+      // engine: a contiguous flat span of locally-owned elements can be
+      // gathered (and, distributed, posted zero-copy) from array storage.
+      const std::set<int64_t> &Fl = Seen[Q];
+      bool Contig = *Fl.rbegin() - *Fl.begin() + 1 ==
+                    static_cast<int64_t>(Fl.size());
+      if (Contig && !NonLocal[Q])
+        ++Result.SpanCopies;
+      else
+        ++Result.PackedCopies;
       uint64_t Bytes = Items.size() * A.elemBytes();
       uint64_t PackBytes = InPlace ? 0 : Bytes;
       Mach.send(P, Q, static_cast<uint64_t>(Ev.Id), Bytes, PackBytes);

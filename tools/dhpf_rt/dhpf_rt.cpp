@@ -1,0 +1,181 @@
+//===- tools/dhpf_rt/dhpf_rt.cpp - One rank of a distributed run ----------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-rank worker `dhpfc launch` fork/execs: loads a serialized .spmd,
+/// resolves the identical session every other rank resolves, joins the
+/// Unix-socket mesh, executes its own rank's node program, and writes its
+/// result dump (hex-bit doubles) for the launcher to merge.
+///
+///   dhpf_rt <prog.spmd> --rank=R --mesh <dir> --result=<file>
+///           [--procs=a,b,...] [--param=k=v]... [--no-validity]
+///
+/// Exit 0 on success (even with validity violations — those travel in the
+/// dump for the merged report), 1 on any transport/runtime failure, 2 on a
+/// usage error. Failures print a diagnostic naming this rank on stderr,
+/// which the launcher forwards.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/InPlace.h"
+#include "net/Socket.h"
+#include "rt/Launch.h"
+#include "rt/RankEngine.h"
+#include "rt/RankResult.h"
+#include "rt/Session.h"
+#include "spmd/Serialize.h"
+#include "support/Diag.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dhpf;
+
+namespace {
+
+struct RtOptions {
+  std::string SpmdPath;
+  std::string MeshDir;
+  std::string ResultPath;
+  long Rank = -1;
+  rt::SessionOptions Session;
+};
+
+int usage() {
+  std::cerr << "usage: dhpf_rt <prog.spmd> --rank=R --mesh <dir> "
+               "--result=<file> [--procs=a,b] [--param=k=v] "
+               "[--no-validity]\n";
+  return 2;
+}
+
+/// Accepts both `--opt=value` and `--opt value`.
+bool takeValue(const std::string &Arg, const std::string &Name, int Argc,
+               char **Argv, int &I, std::string &Out) {
+  if (Arg.rfind(Name + "=", 0) == 0) {
+    Out = Arg.substr(Name.size() + 1);
+    return true;
+  }
+  if (Arg == Name && I + 1 < Argc) {
+    Out = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+bool parseArgs(int Argc, char **Argv, RtOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::string V;
+    if (takeValue(Arg, "--rank", Argc, Argv, I, V)) {
+      O.Rank = std::strtol(V.c_str(), nullptr, 10);
+    } else if (takeValue(Arg, "--mesh", Argc, Argv, I, V)) {
+      O.MeshDir = V;
+    } else if (takeValue(Arg, "--result", Argc, Argv, I, V)) {
+      O.ResultPath = V;
+    } else if (takeValue(Arg, "--procs", Argc, Argv, I, V)) {
+      std::istringstream SS(V);
+      std::string Tok;
+      while (std::getline(SS, Tok, ','))
+        O.Session.ProcShape.push_back(
+            std::strtoll(Tok.c_str(), nullptr, 10));
+    } else if (takeValue(Arg, "--param", Argc, Argv, I, V)) {
+      size_t Eq = V.find('=');
+      if (Eq == std::string::npos)
+        return false;
+      O.Session.Params[V.substr(0, Eq)] =
+          std::strtoll(V.c_str() + Eq + 1, nullptr, 10);
+    } else if (Arg == "--no-validity") {
+      O.Session.CheckValidity = false;
+    } else if (!Arg.empty() && Arg[0] != '-' && O.SpmdPath.empty()) {
+      O.SpmdPath = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !O.SpmdPath.empty() && !O.MeshDir.empty() &&
+         !O.ResultPath.empty() && O.Rank >= 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  RtOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return usage();
+
+  std::ifstream In(O.SpmdPath, std::ios::binary);
+  if (!In) {
+    std::cerr << "dhpf_rt rank " << O.Rank << ": cannot read "
+              << O.SpmdPath << "\n";
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<spmd::SpmdProgram> SP =
+      spmd::parseSpmdProgram(SS.str(), Diags, O.SpmdPath);
+  if (!Diags.empty())
+    std::cerr << Diags.str();
+  if (!SP)
+    return 1;
+  // Rewire the runtime contiguity check the serialized form cannot carry.
+  SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
+
+  std::string Err;
+  std::optional<rt::Session> S = rt::resolveSession(*SP, O.Session, Err);
+  if (!S) {
+    std::cerr << "dhpf_rt rank " << O.Rank << ": " << Err << "\n";
+    return 1;
+  }
+
+  try {
+    spmd::ProgramLayout L = spmd::resolveLayout(*SP, S->Config);
+    if (static_cast<unsigned long>(O.Rank) >= L.NumProcs) {
+      std::cerr << "dhpf_rt: rank " << O.Rank << " out of range for "
+                << L.NumProcs << " processors\n";
+      return 1;
+    }
+    net::SocketOptions SockOpts;
+    SockOpts.MeshDir = O.MeshDir;
+    std::unique_ptr<net::Transport> T = net::connectSocketMesh(
+        static_cast<unsigned>(O.Rank), L.NumProcs, SockOpts);
+
+    rt::RankConfig RC;
+    RC.Run = S->Config;
+    RC.Rank = static_cast<unsigned>(O.Rank);
+    rt::RankEngine E(*SP, RC, *T);
+    S->setup(*SP, E);
+    spmd::RunResult R = E.run();
+
+    rt::RankDump D = rt::dumpRank(E, R, T->stats());
+    std::ofstream Out(O.ResultPath, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      std::cerr << "dhpf_rt rank " << O.Rank << ": cannot write "
+                << O.ResultPath << "\n";
+      return 1;
+    }
+    Out << rt::serializeRankDump(D);
+    Out.close();
+    if (!Out) {
+      std::cerr << "dhpf_rt rank " << O.Rank << ": short write to "
+                << O.ResultPath << "\n";
+      return 1;
+    }
+  } catch (const net::TransportError &E) {
+    std::cerr << "dhpf_rt rank " << O.Rank << ": " << E.what() << "\n";
+    return 1;
+  } catch (const std::exception &E) {
+    std::cerr << "dhpf_rt rank " << O.Rank << ": " << E.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -28,6 +28,8 @@
 #include "core/InPlace.h"
 #include "hpf/HpfParser.h"
 #include "hpf/HpfPrinter.h"
+#include "rt/Launch.h"
+#include "rt/Session.h"
 #include "spmd/Interp.h"
 #include "spmd/Serialize.h"
 #include "support/Diag.h"
@@ -35,6 +37,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -42,6 +45,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace dhpf;
 
@@ -56,6 +61,8 @@ int usage(const char *Argv0) {
          "SPMD program\n"
       << "  run <prog.spmd> [-p N]               execute a serialized "
          "program\n"
+      << "  launch <prog.spmd> [-p N]            execute across N rank "
+         "processes over sockets\n"
       << "  pipeline <prog.hpf> [-p N]           compile + serialization "
          "round trip + run\n"
       << "  export [-d <dir>]                    write the benchmark "
@@ -82,8 +89,34 @@ int usage(const char *Argv0) {
       << "  --param=<name=val>   bind a program parameter\n"
       << "  --no-check           skip the serial reference check\n"
       << "  --no-validity        skip ownership/communication validation\n"
-      << "  --stats              print message/byte/statement counts\n";
+      << "  --stats              print message/byte/statement counts\n"
+      << "\n"
+      << "launch options (plus the run options above):\n"
+      << "  --rt-bin=<path>      dhpf_rt binary (default: DHPF_RT_BIN or "
+         "next to dhpfc)\n"
+      << "  --timeout-ms=<n>     per-launch deadline (default "
+         "DHPF_LAUNCH_TIMEOUT_MS or 60000)\n"
+      << "  --keep-mesh          keep the mesh/result directory for "
+         "debugging\n"
+      << "\n"
+      << "  --version            print version, build type, engines, and "
+         "transports\n";
   return 2;
+}
+
+#ifndef DHPF_GIT_DESC
+#define DHPF_GIT_DESC "unknown"
+#endif
+#ifndef DHPF_BUILD_TYPE
+#define DHPF_BUILD_TYPE "unknown"
+#endif
+
+int printVersion() {
+  std::cout << "dhpfc " << DHPF_GIT_DESC << " (build " << DHPF_BUILD_TYPE
+            << ")\n"
+            << "  engines:    tree bytecode\n"
+            << "  transports: loopback unix-socket\n";
+  return 0;
 }
 
 bool readFile(const std::string &Path, std::string &Out, std::string &Err) {
@@ -141,6 +174,9 @@ struct CliOptions {
   bool Stats = false;
   bool NoCheck = false;
   bool NoValidity = false;
+  std::string RtBin;   ///< --rt-bin override for launch
+  int TimeoutMs = 0;   ///< --timeout-ms launch deadline
+  bool KeepMesh = false;
 };
 
 bool parseInt(const std::string &S, int64_t &Out) {
@@ -221,6 +257,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.Params[V.substr(0, Eq)] = Val;
+    } else if (Value(A, "--rt-bin=", V)) {
+      O.RtBin = V;
+    } else if (Value(A, "--timeout-ms=", V)) {
+      int64_t N;
+      if (!parseInt(V, N) || N < 1) {
+        std::cerr << "dhpfc: invalid --timeout-ms '" << V << "'\n";
+        return false;
+      }
+      O.TimeoutMs = static_cast<int>(N);
+    } else if (A == "--keep-mesh") {
+      O.KeepMesh = true;
     } else if (A == "--no-split") {
       O.NoSplit = true;
     } else if (A == "--no-coalesce") {
@@ -320,39 +367,60 @@ const char *engineName(spmd::EngineKind E) {
              : "bytecode";
 }
 
-/// Fallback semantics for programs with no registered benchmark: a
-/// deterministic function of the values read, plus a deterministic array
-/// initialization, so any valid .hpf input is runnable end to end.
-void genericSetup(spmd::Interpreter &I, const spmd::SpmdProgram &SP) {
-  std::set<int> Sems;
-  for (const spmd::CompiledStmt &S : SP.Stmts)
-    if (S.SemanticsId >= 0)
-      Sems.insert(S.SemanticsId);
-  for (int Id : Sems)
-    I.setSemantics(Id, [](const std::vector<double> &Reads,
-                          const std::vector<int64_t> &, spmd::AccumMap &) {
-      double V = 1.0;
-      for (double R : Reads)
-        V += 0.25 * R;
-      return V;
-    });
-  if (!SP.Source)
-    return;
-  for (const auto &A : SP.Source->arrays())
-    I.initArray(A.first, [](const std::vector<int64_t> &Idx) {
-      double V = 0.5;
-      for (int64_t X : Idx)
-        V = V * 1.9 + 0.3 * static_cast<double>(X);
-      return std::sin(V);
-    });
+rt::SessionOptions sessionOptions(const CliOptions &O) {
+  rt::SessionOptions SO;
+  SO.NumProcs = O.NumProcs;
+  SO.ProcShape = O.ProcShape;
+  SO.Params = O.Params;
+  SO.CheckValidity = !O.NoValidity;
+  return SO;
+}
+
+void printRunHeader(const rt::Session &S, const char *How) {
+  int64_t TotalProcs = 1;
+  for (int64_t E : S.Shape)
+    TotalProcs *= E;
+  std::cout << "ran '" << S.ProgName << "'";
+  if (!S.Shape.empty()) {
+    std::cout << " on " << TotalProcs << " procs (";
+    for (size_t D = 0; D != S.Shape.size(); ++D)
+      std::cout << (D ? "x" : "") << S.Shape[D];
+    std::cout << ")";
+  }
+  std::cout << ", " << How << "\n";
+}
+
+void printRunStats(const spmd::RunResult &RR) {
+  std::cout << "  simulated time: " << RR.ElapsedSeconds
+            << " s, messages: " << RR.Messages << ", bytes: " << RR.Bytes
+            << ", stmt instances: " << RR.StmtInstances
+            << ", in-place upgrades: " << RR.InPlaceRuntimeUpgrades
+            << "\n";
+  std::cout << "  span copies: " << RR.SpanCopies
+            << ", packed copies: " << RR.PackedCopies
+            << ", compute/comm overlap: " << RR.OverlapRatio << "\n";
+  for (const auto &Acc : RR.FinalAccums)
+    std::cout << "  accum " << Acc.first << " = " << Acc.second << "\n";
+}
+
+int reportInvalid(const spmd::RunResult &RR) {
+  std::cerr << "dhpfc: run INVALID (" << RR.Violations.size()
+            << " recorded violations)\n";
+  for (const std::string &V : RR.Violations)
+    std::cerr << "  " << V << "\n";
+  return 1;
 }
 
 /// Executes an SPMD program (from `run` or `pipeline`). Returns the
 /// process exit code.
 int runProgram(const spmd::SpmdProgram &SP, const CliOptions &O) {
-  spmd::RunConfig RC;
-  RC.Params = O.Params;
-  RC.CheckValidity = !O.NoValidity;
+  std::string Err;
+  std::optional<rt::Session> S = rt::resolveSession(SP, sessionOptions(O), Err);
+  if (!S) {
+    std::cerr << "dhpfc: " << Err << "\n";
+    return 2;
+  }
+  spmd::RunConfig RC = S->Config;
   if (O.Sequential)
     RC.ExecThreads = 1;
   if (!parseEngine(O.Engine, RC.Engine)) {
@@ -361,104 +429,190 @@ int runProgram(const spmd::SpmdProgram &SP, const CliOptions &O) {
     return 2;
   }
 
-  // Attach benchmark semantics when the program is a canonical export;
-  // otherwise fall back to the generic deterministic semantics.
-  const std::string ProgName = SP.Source ? SP.Source->name() : "<unknown>";
-  const apps::RegistryEntry *Reg = apps::findApp(ProgName);
-  std::optional<apps::AppInstance> App;
-  bool Canonical = false;
-  if (Reg) {
-    App = Reg->MakeCanonical();
-    Canonical =
-        SP.Source &&
-        hpf::printHpfProgram(*App->Prog) == hpf::printHpfProgram(*SP.Source);
-  }
-
-  // Processor-array extents: an explicit --procs wins; otherwise map -p
-  // onto the benchmark's grid, or put all processors on the first
-  // symbolic dimension.
-  bool AnySymbolic = false;
-  for (const hpf::VPDimInfo &D : SP.ProcDims)
-    AnySymbolic |= !D.ProcSym.empty();
-  std::vector<int64_t> Shape = O.ProcShape;
-  if (Shape.empty() && AnySymbolic) {
-    if (Reg) {
-      Shape = Reg->ProcShape(O.NumProcs);
-      if (Shape.empty()) {
-        std::cerr << "dhpfc: cannot map " << O.NumProcs
-                  << " processors onto the '" << ProgName << "' grid\n";
-        return 2;
-      }
-    } else {
-      bool First = true;
-      for (const hpf::VPDimInfo &D : SP.ProcDims) {
-        if (D.ProcSym.empty())
-          Shape.push_back(D.ProcFixed);
-        else {
-          Shape.push_back(First ? O.NumProcs : 1);
-          First = false;
-        }
-      }
-    }
-  }
-  if (!Shape.empty()) {
-    if (Shape.size() != SP.ProcDims.size()) {
-      std::cerr << "dhpfc: processor shape has " << Shape.size()
-                << " extents but '" << SP.ProcName << "' has "
-                << SP.ProcDims.size() << " dimensions\n";
-      return 2;
-    }
-    RC.ProcExtents[SP.ProcName] = Shape;
-  }
-
   spmd::Interpreter I(SP, RC);
-  if (App && Canonical)
-    App->Setup(I);
-  else
-    genericSetup(I, SP);
-
+  S->setup(SP, I);
   spmd::RunResult RR = I.run();
 
-  int64_t TotalProcs = 1;
-  for (int64_t E : Shape)
-    TotalProcs *= E;
-  std::cout << "ran '" << ProgName << "'";
-  if (!Shape.empty()) {
-    std::cout << " on " << TotalProcs << " procs (";
-    for (size_t D = 0; D != Shape.size(); ++D)
-      std::cout << (D ? "x" : "") << Shape[D];
-    std::cout << ")";
-  }
-  std::cout << ", engine " << engineName(RC.Engine) << "\n";
-  if (O.Stats) {
-    std::cout << "  simulated time: " << RR.ElapsedSeconds
-              << " s, messages: " << RR.Messages << ", bytes: " << RR.Bytes
-              << ", stmt instances: " << RR.StmtInstances
-              << ", in-place upgrades: " << RR.InPlaceRuntimeUpgrades
-              << "\n";
-    for (const auto &Acc : RR.FinalAccums)
-      std::cout << "  accum " << Acc.first << " = " << Acc.second << "\n";
-  }
-  if (!RR.Valid) {
-    std::cerr << "dhpfc: run INVALID (" << RR.Violations.size()
-              << " recorded violations)\n";
-    for (const std::string &V : RR.Violations)
-      std::cerr << "  " << V << "\n";
-    return 1;
-  }
+  printRunHeader(*S, (std::string("engine ") + engineName(RC.Engine)).c_str());
+  if (O.Stats)
+    printRunStats(RR);
+  if (!RR.Valid)
+    return reportInvalid(RR);
   if (!O.NoCheck) {
-    if (App && Canonical && App->Check) {
-      std::string Err;
-      if (!App->Check(I, Err)) {
-        std::cerr << "dhpfc: reference check FAILED: " << Err << "\n";
-        return 1;
+    if (S->Reg && S->Canonical) {
+      apps::AppInstance App = S->Reg->MakeCanonical();
+      if (App.Check) {
+        std::string CheckErr;
+        if (!App.Check(I, CheckErr)) {
+          std::cerr << "dhpfc: reference check FAILED: " << CheckErr << "\n";
+          return 1;
+        }
+        std::cout << "reference check: OK\n";
       }
-      std::cout << "reference check: OK\n";
-    } else if (Reg) {
-      std::cout << "note: program differs from the canonical '" << ProgName
-                << "' export; reference check skipped\n";
+    } else if (S->Reg) {
+      std::cout << "note: program differs from the canonical '"
+                << S->ProgName << "' export; reference check skipped\n";
     }
   }
+  return 0;
+}
+
+/// Bitwise comparison of a distributed run against an in-process engine
+/// run of the same session. Returns a description of the first mismatch,
+/// empty on agreement. Wall-clock time and the overlap ratio are real
+/// measurements, not simulation outputs, and are excluded.
+std::string compareRuns(const rt::MergedRun &Dist, const spmd::RunResult &Ref,
+                        const spmd::Interpreter &I) {
+  auto Num = [](const char *What, uint64_t A, uint64_t B) {
+    return std::string(What) + ": distributed " + std::to_string(A) +
+           " vs in-process " + std::to_string(B);
+  };
+  if (Dist.R.Messages != Ref.Messages)
+    return Num("messages", Dist.R.Messages, Ref.Messages);
+  if (Dist.R.Bytes != Ref.Bytes)
+    return Num("bytes", Dist.R.Bytes, Ref.Bytes);
+  if (Dist.R.SpanCopies != Ref.SpanCopies)
+    return Num("span copies", Dist.R.SpanCopies, Ref.SpanCopies);
+  if (Dist.R.PackedCopies != Ref.PackedCopies)
+    return Num("packed copies", Dist.R.PackedCopies, Ref.PackedCopies);
+  if (Dist.R.StmtInstances != Ref.StmtInstances)
+    return Num("stmt instances", Dist.R.StmtInstances, Ref.StmtInstances);
+  if (Dist.R.InPlaceRuntimeUpgrades != Ref.InPlaceRuntimeUpgrades)
+    return Num("in-place upgrades", Dist.R.InPlaceRuntimeUpgrades,
+               Ref.InPlaceRuntimeUpgrades);
+  if (Dist.R.Valid != Ref.Valid)
+    return "validity verdicts differ";
+  if (Dist.R.FinalAccums.size() != Ref.FinalAccums.size())
+    return "accumulator sets differ";
+  for (const auto &[Name, V] : Ref.FinalAccums) {
+    auto It = Dist.R.FinalAccums.find(Name);
+    if (It == Dist.R.FinalAccums.end())
+      return "accumulator '" + Name + "' missing from distributed run";
+    if (std::memcmp(&It->second, &V, sizeof(double)) != 0)
+      return "accumulator '" + Name + "' bits differ";
+  }
+  for (const auto &[Name, A] : Dist.Arrays) {
+    const spmd::ArrayStore &B = I.array(Name);
+    if (A.size() != B.size())
+      return "array '" + Name + "' sizes differ";
+    if (std::memcmp(A.values().data(), B.values().data(),
+                    A.size() * sizeof(double)) != 0) {
+      for (size_t F = 0; F != A.size(); ++F)
+        if (std::memcmp(&A.values()[F], &B.values()[F], sizeof(double)) != 0)
+          return "array '" + Name + "' differs first at flat " +
+                 std::to_string(F);
+    }
+  }
+  return "";
+}
+
+/// `dhpfc launch`: run the program across real rank processes over the
+/// socket mesh, then (unless --no-check) re-run in-process and demand
+/// bit-identical results.
+int cmdLaunch(const CliOptions &O, const char *Argv0) {
+  std::string Text, Err;
+  if (!readFile(O.Input, Text, Err)) {
+    std::cerr << "dhpfc: " << Err << "\n";
+    return 1;
+  }
+  // Accept either a serialized .spmd or an .hpf source; the latter is
+  // compiled here and serialized to a temp file the rank processes load.
+  std::string SpmdPath = O.Input;
+  std::string TempSpmd;
+  std::unique_ptr<spmd::SpmdProgram> SP;
+  std::unique_ptr<hpf::Program> SrcProg;
+  std::unique_ptr<core::CompileOutput> Compiled;
+  if (O.Input.size() > 4 &&
+      O.Input.compare(O.Input.size() - 4, 4, ".hpf") == 0) {
+    Compiled = compileHpfFile(O.Input, O, SrcProg);
+    if (!Compiled)
+      return 1;
+    std::string Ser = spmd::serializeSpmdProgram(Compiled->Program);
+    const char *Tmp = std::getenv("TMPDIR");
+    TempSpmd = std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/dhpfc_launch_" +
+               std::to_string(static_cast<long>(getpid())) + ".spmd";
+    if (!writeFile(TempSpmd, Ser, Err)) {
+      std::cerr << "dhpfc: " << Err << "\n";
+      return 1;
+    }
+    SpmdPath = TempSpmd;
+    DiagnosticEngine Diags;
+    SP = spmd::parseSpmdProgram(Ser, Diags, SpmdPath);
+    flushDiags(Diags);
+  } else {
+    DiagnosticEngine Diags;
+    SP = spmd::parseSpmdProgram(Text, Diags, O.Input);
+    flushDiags(Diags);
+  }
+  if (!SP)
+    return 1;
+  SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
+
+  std::optional<rt::Session> S =
+      rt::resolveSession(*SP, sessionOptions(O), Err);
+  if (!S) {
+    std::cerr << "dhpfc: " << Err << "\n";
+    return 2;
+  }
+
+  struct TempFileGuard {
+    std::string Path;
+    ~TempFileGuard() {
+      if (!Path.empty())
+        ::unlink(Path.c_str());
+    }
+  } Guard{TempSpmd};
+
+  rt::LaunchOptions LO;
+  LO.SpmdPath = SpmdPath;
+  LO.TimeoutMs = O.TimeoutMs;
+  LO.KeepDir = O.KeepMesh;
+  LO.RtBinary = rt::findRtBinary(O.RtBin, Argv0);
+  if (LO.RtBinary.empty()) {
+    std::cerr << "dhpfc: cannot find the dhpf_rt binary (try --rt-bin= or "
+                 "DHPF_RT_BIN)\n";
+    return 2;
+  }
+
+  rt::LaunchResult LR = rt::launchRanks(*SP, *S, LO);
+  if (!LR.Ok) {
+    std::cerr << "dhpfc: launch FAILED:\n" << LR.Error << "\n";
+    if (!LR.Dir.empty())
+      std::cerr << "  mesh directory kept at " << LR.Dir << "\n";
+    return 1;
+  }
+
+  printRunHeader(*S, (std::to_string(LR.NumRanks) +
+                      " rank processes over unix sockets")
+                         .c_str());
+  if (O.Stats)
+    printRunStats(LR.Merged.R);
+  if (!LR.Merged.R.Valid)
+    return reportInvalid(LR.Merged.R);
+
+  if (!O.NoCheck) {
+    // Differential oracle: the same session through the in-process engine
+    // must agree bit for bit.
+    spmd::RunConfig RC = S->Config;
+    if (!parseEngine(O.Engine, RC.Engine)) {
+      std::cerr << "dhpfc: unknown engine '" << O.Engine
+                << "' (want tree|bytecode|auto)\n";
+      return 2;
+    }
+    spmd::Interpreter I(*SP, RC);
+    S->setup(*SP, I);
+    spmd::RunResult Ref = I.run();
+    std::string Mismatch = compareRuns(LR.Merged, Ref, I);
+    if (!Mismatch.empty()) {
+      std::cerr << "dhpfc: distributed run DIVERGED from the "
+                << engineName(RC.Engine) << " engine: " << Mismatch << "\n";
+      return 1;
+    }
+    std::cout << "in-process agreement (" << engineName(RC.Engine)
+              << " engine): OK\n";
+  }
+  if (!LR.Dir.empty())
+    std::cout << "mesh directory kept at " << LR.Dir << "\n";
   return 0;
 }
 
@@ -557,6 +711,8 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage(Argv[0]);
   std::string Cmd = Argv[1];
+  if (Cmd == "--version" || Cmd == "version")
+    return printVersion();
   CliOptions O;
   if (!parseArgs(Argc, Argv, O))
     return 2;
@@ -572,6 +728,8 @@ int main(int Argc, char **Argv) {
     return cmdCompile(O);
   if (Cmd == "run")
     return cmdRun(O);
+  if (Cmd == "launch")
+    return cmdLaunch(O, Argv[0]);
   if (Cmd == "pipeline")
     return cmdPipeline(O);
   std::cerr << "dhpfc: unknown command '" << Cmd << "'\n";
