@@ -7,6 +7,7 @@
 #include "core/CompilerDriver.h"
 
 #include "core/InPlace.h"
+#include "obs/Trace.h"
 
 #include <functional>
 #include <iostream>
@@ -152,8 +153,12 @@ std::unique_ptr<CompileOutput> CompilerDriver::run() {
     return nullptr;
 
   pset::CacheStats CacheBefore = pset::OpCache::global().stats();
+  obs::TraceBuffer *TB = &obs::TraceBuffer::global();
   {
     PhaseTimers::Scope Total(*Ctx.T, phase::Total);
+    obs::TraceSpan CompileSpan(
+        TB, "compile:" + (Ctx.P.name().empty() ? "<program>" : Ctx.P.name()),
+        "compile");
     // Register program parameters up front so slots are stable.
     for (const std::string &Pr : Ctx.P.params())
       Ctx.SP->Vars.slot(Pr);
@@ -216,7 +221,16 @@ std::unique_ptr<CompileOutput> CompilerDriver::run() {
         for (const NestAnalysis &NA : Ctx.NestAnalyses)
           Ctx.T->merge(NA.Timers);
       }
-      P->run(Ctx);
+      {
+        obs::TraceSpan PassSpan(TB, std::string("pass:") + P->name(),
+                                "compile",
+                                "\"nests\": " +
+                                    std::to_string(Ctx.Nests.size()));
+        P->run(Ctx);
+      }
+      obs::MetricsRegistry::global()
+          .counter(std::string("core.pass.") + P->name() + ".runs")
+          ->inc();
       if (!Ctx.Opts.DumpAfter.empty() &&
           wantDump(Ctx.Opts.DumpAfter, P->name())) {
         std::ostream &OS =

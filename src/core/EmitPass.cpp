@@ -16,6 +16,7 @@
 
 #include "core/CompileContext.h"
 #include "core/InPlace.h"
+#include "obs/Trace.h"
 
 #include <ostream>
 
@@ -334,6 +335,8 @@ private:
   void compileNest(const ComputeNest &Nest, SpmdNode *Parent) {
     assert(NextNestIdx < Ctx->NestAnalyses.size() &&
            "nest collection out of sync with compilePhase");
+    obs::TraceSpan Span(&obs::TraceBuffer::global(), "emit:" + Nest.Name,
+                        "compile.nest");
     NestAnalysis &NA = Ctx->NestAnalyses[NextNestIdx++];
     const std::vector<CPInfo> &CPs = NA.CPs;
     const std::vector<unsigned> &Groups = NA.Groups;

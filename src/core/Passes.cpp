@@ -13,6 +13,8 @@
 
 #include "core/CompileContext.h"
 
+#include "obs/Trace.h"
+
 #include <map>
 #include <ostream>
 
@@ -51,6 +53,8 @@ public:
     Ctx.forEachNest([&](size_t I) {
       const ComputeNest &Nest = *Ctx.Nests[I];
       NestAnalysis &NA = Ctx.NestAnalyses[I];
+      obs::TraceSpan Span(&obs::TraceBuffer::global(),
+                          "partition:" + Nest.Name, "compile.nest");
       PhaseTimers::Scope S(NA.Timers, phase::Partitioning);
       for (const Statement &St : Nest.Stmts)
         NA.CPs.push_back(computeCP(Ctx.MB, Nest, St));
@@ -95,6 +99,8 @@ public:
     Ctx.forEachNest([&](size_t I) {
       const ComputeNest &Nest = *Ctx.Nests[I];
       NestAnalysis &NA = Ctx.NestAnalyses[I];
+      obs::TraceSpan Span(&obs::TraceBuffer::global(), "comm:" + Nest.Name,
+                          "compile.nest");
       unsigned V = effectiveVectorizeLevel(Nest);
 
       // Plan communication events: (array, direction) keyed, coalescing
@@ -197,6 +203,8 @@ public:
     Ctx.forEachNest([&](size_t I) {
       const ComputeNest &Nest = *Ctx.Nests[I];
       NestAnalysis &NA = Ctx.NestAnalyses[I];
+      obs::TraceSpan Span(&obs::TraceBuffer::global(), "split:" + Nest.Name,
+                          "compile.nest");
       unsigned V = effectiveVectorizeLevel(Nest);
       unsigned NumGroups = NA.Groups.empty() ? 0 : NA.Groups.back() + 1;
       bool AnyLive = false;
@@ -258,6 +266,8 @@ public:
   void run(CompileContext &Ctx) override {
     Ctx.forEachNest([&](size_t I) {
       NestAnalysis &NA = Ctx.NestAnalyses[I];
+      obs::TraceSpan Span(&obs::TraceBuffer::global(),
+                          "vp:" + Ctx.Nests[I]->Name, "compile.nest");
       for (const CPInfo &CP : NA.CPs) {
         if (CP.Replicated)
           continue;

@@ -6,6 +6,8 @@
 
 #include "net/Net.h"
 
+#include "obs/Trace.h"
+
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -210,8 +212,16 @@ void Transport::post(unsigned Dst, uint64_t Tag, const ByteSpan *Parts,
   FaultInjector::Action Fate = FaultInjector::Action::None;
   if (Faults.enabled()) {
     Fate = Faults.next();
-    if (Fate != FaultInjector::Action::None)
+    if (Fate != FaultInjector::Action::None) {
       ++Stats.FaultsInjected;
+      static const char *ActionNames[] = {"none", "drop", "duplicate",
+                                          "truncate", "corrupt"};
+      obs::TraceBuffer::global().instant(
+          "fault", "net",
+          "\"rank\": " + std::to_string(Rank) + ", \"dst\": " +
+              std::to_string(Dst) + ", \"action\": \"" +
+              ActionNames[static_cast<size_t>(Fate)] + "\"");
+    }
   }
   if (Fate == FaultInjector::Action::Drop) {
     // The sequence number was consumed: the receiver sees a gap.

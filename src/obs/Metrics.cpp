@@ -1,0 +1,128 @@
+//===- obs/Metrics.cpp - Process-wide metrics registry -------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <sstream>
+
+using namespace dhpf;
+using namespace dhpf::obs;
+
+Histogram::Histogram(std::vector<int64_t> EdgesIn)
+    : Edges(std::move(EdgesIn)),
+      Counts(new std::atomic<uint64_t>[Edges.size() + 1]) {
+  for (size_t I = 0; I != Edges.size() + 1; ++I)
+    Counts[I].store(0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::total() const {
+  uint64_t T = 0;
+  for (size_t I = 0; I != Edges.size() + 1; ++I)
+    T += Counts[I].load(std::memory_order_relaxed);
+  return T;
+}
+
+void Histogram::reset() {
+  for (size_t I = 0; I != Edges.size() + 1; ++I)
+    Counts[I].store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter *MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Metrics[Name];
+  if (!E.C)
+    E.C = std::make_unique<Counter>();
+  return E.C.get();
+}
+
+Gauge *MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Metrics[Name];
+  if (!E.G)
+    E.G = std::make_unique<Gauge>();
+  return E.G.get();
+}
+
+Histogram *MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<int64_t> Edges) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Metrics[Name];
+  if (!E.H)
+    E.H = std::make_unique<Histogram>(std::move(Edges));
+  return E.H.get();
+}
+
+std::string MetricsRegistry::reportText() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::ostringstream OS;
+  for (const auto &[Name, E] : Metrics) {
+    if (E.C)
+      OS << Name << " " << E.C->value() << "\n";
+    if (E.G)
+      OS << Name << " " << E.G->value() << "\n";
+    if (E.H) {
+      for (size_t I = 0; I != E.H->edges().size(); ++I)
+        OS << Name << ".le." << E.H->edges()[I] << " " << E.H->bucket(I)
+           << "\n";
+      OS << Name << ".overflow " << E.H->bucket(E.H->edges().size())
+         << "\n";
+      OS << Name << ".total " << E.H->total() << "\n";
+      OS << Name << ".sum " << E.H->sum() << "\n";
+    }
+  }
+  return OS.str();
+}
+
+std::string MetricsRegistry::reportJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  auto Key = [&](const std::string &Name) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n  \"" << Name << "\": ";
+  };
+  for (const auto &[Name, E] : Metrics) {
+    if (E.C)
+      Key(Name), OS << E.C->value();
+    if (E.G)
+      Key(Name), OS << E.G->value();
+    if (E.H) {
+      Key(Name);
+      OS << "{\"buckets\": [";
+      for (size_t I = 0; I != E.H->edges().size() + 1; ++I)
+        OS << (I ? "," : "") << E.H->bucket(I);
+      OS << "], \"edges\": [";
+      for (size_t I = 0; I != E.H->edges().size(); ++I)
+        OS << (I ? "," : "") << E.H->edges()[I];
+      OS << "], \"total\": " << E.H->total() << ", \"sum\": " << E.H->sum()
+         << "}";
+    }
+  }
+  OS << "\n}\n";
+  return OS.str();
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, E] : Metrics) {
+    (void)Name;
+    if (E.C)
+      E.C->reset();
+    if (E.G)
+      E.G->reset();
+    if (E.H)
+      E.H->reset();
+  }
+}

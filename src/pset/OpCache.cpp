@@ -6,6 +6,8 @@
 
 #include "pset/OpCache.h"
 
+#include "obs/Metrics.h"
+
 #include <cstdlib>
 
 using namespace dhpf;
@@ -32,11 +34,13 @@ bool OpCache::lookupImpl(const Key &K, Value &Out) {
   auto It = S.Map.find(K);
   if (It == S.Map.end()) {
     NMisses.fetch_add(1, std::memory_order_relaxed);
+    ++S.Misses;
     return false;
   }
   S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
   Out = It->second->second;
   NHits.fetch_add(1, std::memory_order_relaxed);
+  ++S.Hits;
   return true;
 }
 
@@ -56,6 +60,7 @@ void OpCache::insertImpl(const Key &K, Value V) {
     S.Map.erase(S.LRU.back().first);
     S.LRU.pop_back();
     NEvictions.fetch_add(1, std::memory_order_relaxed);
+    ++S.Evictions;
   }
 }
 
@@ -93,6 +98,46 @@ void OpCache::clear() {
     std::lock_guard<std::mutex> Lock(S.M);
     S.LRU.clear();
     S.Map.clear();
+  }
+}
+
+std::vector<OpCache::ShardStats> OpCache::perShardStats() {
+  std::vector<ShardStats> Out(kNumShards);
+  for (size_t I = 0; I != kNumShards; ++I) {
+    Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.M);
+    Out[I].Hits = S.Hits;
+    Out[I].Misses = S.Misses;
+    Out[I].Evictions = S.Evictions;
+    Out[I].Entries = S.LRU.size();
+  }
+  return Out;
+}
+
+void OpCache::publishMetrics() {
+  using obs::MetricsRegistry;
+  if (!obs::compiledIn())
+    return;
+  MetricsRegistry &R = MetricsRegistry::global();
+  CacheStats T = stats();
+  R.gauge("pset.cache.hits")->set(static_cast<int64_t>(T.Hits));
+  R.gauge("pset.cache.misses")->set(static_cast<int64_t>(T.Misses));
+  R.gauge("pset.cache.evictions")->set(static_cast<int64_t>(T.Evictions));
+  R.gauge("pset.cache.fast_empty_bbox")
+      ->set(static_cast<int64_t>(T.FastEmptyBBox));
+  R.gauge("pset.cache.fast_disjoint_bbox")
+      ->set(static_cast<int64_t>(T.FastDisjointBBox));
+  R.gauge("pset.cache.fast_subset_fp")
+      ->set(static_cast<int64_t>(T.FastSubsetFP));
+  R.gauge("pset.cache.dup_rows_removed")
+      ->set(static_cast<int64_t>(T.DupRowsRemoved));
+  std::vector<ShardStats> PS = perShardStats();
+  for (size_t I = 0; I != PS.size(); ++I) {
+    std::string P = "pset.cache.shard." + std::to_string(I);
+    R.gauge(P + ".hits")->set(static_cast<int64_t>(PS[I].Hits));
+    R.gauge(P + ".misses")->set(static_cast<int64_t>(PS[I].Misses));
+    R.gauge(P + ".evictions")->set(static_cast<int64_t>(PS[I].Evictions));
+    R.gauge(P + ".entries")->set(static_cast<int64_t>(PS[I].Entries));
   }
 }
 

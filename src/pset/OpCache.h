@@ -33,6 +33,7 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace dhpf {
 namespace pset {
@@ -107,6 +108,22 @@ public:
 
   CacheStats stats() const;
 
+  /// Per-shard traffic, for load-balance diagnostics. Entries is the
+  /// shard's current resident count.
+  struct ShardStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t Entries = 0;
+  };
+  static constexpr size_t numShards() { return kNumShards; }
+  std::vector<ShardStats> perShardStats();
+
+  /// Mirrors the cumulative counters (global and per shard) into the
+  /// process-global obs::MetricsRegistry under "pset.cache.*". Gauges, so
+  /// repeated publication overwrites rather than double-counts.
+  void publishMetrics();
+
   // Fast-path accounting (the fast paths live in Relation.cpp).
   void noteFastEmpty() { NFastEmpty.fetch_add(1, std::memory_order_relaxed); }
   void noteFastDisjoint() {
@@ -149,6 +166,10 @@ private:
     std::unordered_map<Key, std::list<std::pair<Key, Value>>::iterator,
                        KeyHash>
         Map;
+    // Per-shard traffic, bumped under M (plain fields, no atomics needed).
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
   };
 
   Shard &shardFor(const Key &K) {

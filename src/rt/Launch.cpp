@@ -66,6 +66,7 @@ void removeTree(const std::string &Dir, unsigned NP) {
     ::unlink((Dir + "/rank" + std::to_string(R) + ".sock").c_str());
     ::unlink((Dir + "/rank" + std::to_string(R) + ".result").c_str());
     ::unlink((Dir + "/rank" + std::to_string(R) + ".err").c_str());
+    ::unlink((Dir + "/rank" + std::to_string(R) + ".trace").c_str());
   }
   ::rmdir(Dir.c_str());
 }
@@ -156,6 +157,11 @@ LaunchResult rt::launchRanks(const spmd::SpmdProgram &SP, const Session &S,
         ::dup2(Fd, 2);
         ::close(Fd);
       }
+      std::string TracePath = Dir + "/rank" + std::to_string(R) + ".trace";
+      if (Opts.Trace)
+        ::setenv("DHPF_TRACE", TracePath.c_str(), 1);
+      else
+        ::unsetenv("DHPF_TRACE"); // an inherited path would collide
       std::vector<char *> Argv;
       for (std::string &A : Args)
         Argv.push_back(A.data());
@@ -261,6 +267,12 @@ LaunchResult rt::launchRanks(const spmd::SpmdProgram &SP, const Session &S,
       LR.Ok = true;
     else
       LR.Error = "merge failed: " + Err;
+  }
+  if (Opts.Trace) {
+    LR.RankTraces.resize(NP);
+    for (unsigned R = 0; R != NP; ++R)
+      readWholeFile(Dir + "/rank" + std::to_string(R) + ".trace",
+                    LR.RankTraces[R]);
   }
   if (Opts.KeepDir)
     LR.Dir = Dir;

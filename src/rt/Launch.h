@@ -31,6 +31,10 @@ struct LaunchOptions {
   /// Per-run deadline; 0 consults DHPF_LAUNCH_TIMEOUT_MS, default 60000.
   int TimeoutMs = 0;
   bool KeepDir = false; ///< keep the mesh/result directory for debugging
+  /// Trace every rank: each rank process records its own Chrome trace
+  /// (lane pid = rank+1, via DHPF_TRACE) and the launcher collects the
+  /// per-rank documents into LaunchResult::RankTraces for merging.
+  bool Trace = false;
 };
 
 struct LaunchResult {
@@ -39,6 +43,10 @@ struct LaunchResult {
   MergedRun Merged;  ///< valid when Ok
   unsigned NumRanks = 0;
   std::string Dir; ///< mesh directory (only set when kept)
+  /// Per-rank Chrome trace documents (index = rank), when
+  /// LaunchOptions::Trace was set. Entries may be empty for ranks whose
+  /// trace file was missing.
+  std::vector<std::string> RankTraces;
 };
 
 /// Runs \p Session's program distributed across its processor count.

@@ -140,6 +140,7 @@ void RankEngine::writeElem(ArrayStore &A, const std::string &Array,
 }
 
 void RankEngine::execCompute(const SpmdNode &N) {
+  obs::TraceSpan Span(Config.Trace, "compute:" + N.NestName, "rt.exec");
   std::vector<int64_t> WIdx;
   std::vector<double> Reads;
   cg::execute(*N.Loops, Env, [&](int Leaf, const std::vector<int64_t> &E) {
@@ -165,6 +166,7 @@ void RankEngine::execCompute(const SpmdNode &N) {
     // rank computes its local iterations.
     if (++StmtsSinceProgress >= Config.ProgressEveryStmts) {
       StmtsSinceProgress = 0;
+      ++ProgressCalls;
       T.progress();
     }
   });
@@ -218,6 +220,13 @@ void RankEngine::execSend(const SpmdNode &N) {
 
   for (unsigned Q : PartnerOrder) {
     std::vector<std::pair<int64_t, double>> &Items = Msgs[Q];
+    // Exactly one "send" span per counted message (++Result.Messages
+    // below) — the trace/counter cross-check in the tests relies on it.
+    obs::TraceSpan SendSpan(Config.Trace, "send", "rt.comm",
+                            "\"dst\": " + std::to_string(Q) +
+                                ", \"event\": " + std::to_string(Ev.Id) +
+                                ", \"bytes\": " +
+                                std::to_string(Items.size() * A.elemBytes()));
     std::sort(Items.begin(), Items.end()); // canonical flat order
     const std::set<int64_t> &Fl = Seen[Q];
     int64_t Base = *Fl.begin();
@@ -293,6 +302,9 @@ void RankEngine::execRecv(const SpmdNode &N) {
 
   for (unsigned Q : PartnerOrder) {
     std::vector<int64_t> &Flats = Expect[Q];
+    obs::TraceSpan Span(Config.Trace, "recv", "rt.comm",
+                        "\"src\": " + std::to_string(Q) +
+                            ", \"event\": " + std::to_string(Ev.Id));
     std::vector<uint8_t> Pay = T.recv(Q, static_cast<uint64_t>(Ev.Id));
 
     // Decode; a malformed payload passed the checksum, so it is a sender
@@ -355,6 +367,7 @@ void RankEngine::execRecv(const SpmdNode &N) {
 }
 
 void RankEngine::execReduce(const SpmdNode &N) {
+  obs::TraceSpan Span(Config.Trace, "reduce:" + N.RedName, "rt.comm");
   unsigned NP = Layout.NumProcs, P = Config.Rank;
   uint64_t Tag = ReduceTagBase + ReduceSeq++;
   double Own = Accums[N.RedName];
@@ -403,9 +416,15 @@ void RankEngine::execReduce(const SpmdNode &N) {
   Accums[N.RedName] = Combined;
   Result.FinalAccums[N.RedName] = Combined;
   // Logical accounting mirrors sim::Machine::allReduce: P messages total
-  // for the collective, no payload bytes — one per rank.
-  if (NP > 1)
+  // for the collective, no payload bytes — one per rank. The paired
+  // zero-duration "send" span keeps trace event counts == Messages.
+  if (NP > 1) {
     ++Result.Messages;
+    if (Config.Trace->active())
+      Config.Trace->complete("send", "rt.comm", Config.Trace->nowUs(), 0,
+                             "\"reduce\": \"" + obs::jsonEscape(N.RedName) +
+                                 "\"");
+  }
 }
 
 void RankEngine::execNode(const SpmdNode &N) {
@@ -463,8 +482,23 @@ void RankEngine::finish() {
 
 RunResult RankEngine::run() {
   auto Start = std::chrono::steady_clock::now();
-  execNode(*Prog.Root);
-  finish();
+  {
+    obs::TraceSpan Span(Config.Trace, "rank:run", "rt");
+    execNode(*Prog.Root);
+  }
+  {
+    obs::TraceSpan Span(Config.Trace, "rank:finish", "rt");
+    finish();
+  }
+  if (obs::compiledIn()) {
+    obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+    R.counter("rt.comm.messages")->inc(Result.Messages);
+    R.counter("rt.comm.bytes")->inc(Result.Bytes);
+    R.counter("rt.comm.span_copies")->inc(Result.SpanCopies);
+    R.counter("rt.comm.packed_copies")->inc(Result.PackedCopies);
+    R.counter("rt.comm.progress_calls")->inc(ProgressCalls);
+    R.counter("rt.exec.stmt_instances")->inc(Result.StmtInstances);
+  }
   Result.ElapsedSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();

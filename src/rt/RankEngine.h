@@ -33,6 +33,7 @@
 #define DHPF_RT_RANKENGINE_H
 
 #include "net/Net.h"
+#include "obs/Trace.h"
 #include "spmd/Interp.h"
 #include "spmd/Layout.h"
 #include "spmd/SpmdProgram.h"
@@ -51,6 +52,10 @@ struct RankConfig {
   /// Pump the transport progress engine every N statement instances
   /// inside compute nodes (the overlap window).
   unsigned ProgressEveryStmts = 256;
+  /// Trace sink for this rank's comm/compute spans. Defaults to the
+  /// process-global buffer (inert until started); in-process multi-rank
+  /// tests point each engine at its own buffer so lanes stay separate.
+  obs::TraceBuffer *Trace = &obs::TraceBuffer::global();
 };
 
 class RankEngine : public spmd::ProgramHost {
@@ -94,6 +99,7 @@ private:
   std::vector<char> EventInPlace;
   uint64_t ReduceSeq = 0;  ///< reduce instance counter (tag sync)
   uint64_t StmtsSinceProgress = 0;
+  uint64_t ProgressCalls = 0; ///< flushed to rt.comm.progress_calls
 
   spmd::RunResult Result;
 

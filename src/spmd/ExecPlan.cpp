@@ -6,6 +6,7 @@
 
 #include "spmd/ExecPlan.h"
 
+#include "obs/Metrics.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
@@ -774,6 +775,7 @@ void PlanExecutor::runReduce(const PlanNode &N) {
 }
 
 void PlanExecutor::runNode(const PlanNode &N) {
+  ++Dispatch[static_cast<size_t>(N.K)];
   switch (N.K) {
   case SpmdNode::Kind::Seq:
     for (const PlanNode &C : N.Children)
@@ -820,6 +822,16 @@ RunResult PlanExecutor::run() {
   I.Result.ElapsedSeconds = I.Mach.elapsed();
   I.Result.Messages = I.Mach.totalMessages();
   I.Result.Bytes = I.Mach.totalBytes();
+  if (obs::compiledIn()) {
+    // Flushed once per run — the dispatch loop itself stays probe-free.
+    static const char *KindNames[6] = {"seq",  "time_loop", "compute",
+                                       "send", "recv",      "reduce"};
+    obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+    for (size_t K = 0; K != 6; ++K)
+      if (Dispatch[K])
+        R.counter(std::string("spmd.bytecode.dispatch.") + KindNames[K])
+            ->inc(Dispatch[K]);
+  }
   return I.Result;
 }
 

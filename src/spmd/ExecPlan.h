@@ -206,6 +206,9 @@ private:
   const SpmdProgram &Prog;
   Interpreter &I;
   unsigned NP; // processor count
+  /// Node-dispatch counts by SpmdNode::Kind, flushed to the obs registry
+  /// ("spmd.bytecode.dispatch.*") once at the end of run().
+  uint64_t Dispatch[6] = {};
   ExecPlan Plan;
   std::unique_ptr<ThreadPool> Pool;
   std::map<std::string, uint32_t> ArrayIds;

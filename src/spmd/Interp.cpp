@@ -6,6 +6,7 @@
 
 #include "spmd/Interp.h"
 
+#include "obs/Metrics.h"
 #include "spmd/ExecPlan.h"
 #include "spmd/Layout.h"
 #include "support/MathExtras.h"
@@ -358,6 +359,7 @@ void Interpreter::execReduce(const SpmdNode &N) {
 }
 
 void Interpreter::execNode(const SpmdNode &N) {
+  ++Dispatch[static_cast<size_t>(N.K)];
   switch (N.K) {
   case SpmdNode::Kind::Seq:
     for (const auto &C : N.Children)
@@ -397,6 +399,16 @@ RunResult Interpreter::run() {
   Result.ElapsedSeconds = Mach.elapsed();
   Result.Messages = Mach.totalMessages();
   Result.Bytes = Mach.totalBytes();
+  if (obs::compiledIn()) {
+    // Flushed once per run — the dispatch loop itself stays probe-free.
+    static const char *KindNames[6] = {"seq",  "time_loop", "compute",
+                                       "send", "recv",      "reduce"};
+    obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+    for (size_t K = 0; K != 6; ++K)
+      if (Dispatch[K])
+        R.counter(std::string("spmd.tree.dispatch.") + KindNames[K])
+            ->inc(Dispatch[K]);
+  }
   return Result;
 }
 

@@ -238,16 +238,79 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CacheDifferential, ::testing::Range(0u, 25u));
 //===----------------------------------------------------------------------===
 
 TEST(OpCacheMechanics, HitsAndMisses) {
-  CacheSwitch On(true);
+  CacheSwitch On(true); // cleared on entry: counts below are exact
   pset::OpCache &C = pset::OpCache::global();
   Relation A = parseRelation("{ [i,j] : 0 <= i <= 20 and 0 <= j <= i }");
   Relation B = parseRelation("{ [i,j] : 5 <= i <= 30 and 2 <= j <= 25 }");
   pset::CacheStats S0 = C.stats();
   Relation R1 = A.intersect(B);
+  pset::CacheStats D1 = C.stats() - S0;
+  // Cold cache: the first intersect can hit nothing, and records exactly
+  // one top-level miss (its Compute body uses only fast paths, never a
+  // second cached op on identical fingerprints).
+  EXPECT_EQ(D1.Hits, 0u);
+  EXPECT_EQ(D1.Misses, 1u);
+  // Replay: one lookup, one hit, zero misses — the hit short-circuits
+  // every internal operation.
+  pset::CacheStats S1 = C.stats();
   Relation R2 = A.intersect(B);
-  pset::CacheStats D = C.stats() - S0;
-  EXPECT_GE(D.Hits, 1u);
+  pset::CacheStats D2 = C.stats() - S1;
+  EXPECT_EQ(D2.Hits, 1u);
+  EXPECT_EQ(D2.Misses, 0u);
   EXPECT_TRUE(R1.isEqualTo(R2));
+}
+
+TEST(OpCacheMechanics, ExactCountersDirectApi) {
+  // A private instance: no global state, every count pinned exactly.
+  pset::OpCache C(1024);
+  Relation R = parseRelation("{ [i] : 0 <= i <= 3 }");
+  Relation Out;
+  EXPECT_FALSE(C.lookup(pset::Op::Simplify, 1, 2, Out)); // miss 1
+  C.insert(pset::Op::Simplify, 1, 2, R);
+  EXPECT_TRUE(C.lookup(pset::Op::Simplify, 1, 2, Out)); // hit 1
+  EXPECT_TRUE(C.lookup(pset::Op::Simplify, 1, 2, Out)); // hit 2
+  EXPECT_FALSE(C.lookup(pset::Op::Coalesce, 1, 2, Out)); // op in key: miss 2
+  EXPECT_FALSE(C.lookup(pset::Op::Simplify, 1, 3, Out)); // rhs in key: miss 3
+  bool BV = false;
+  EXPECT_FALSE(C.lookupBool(pset::Op::IsEmpty, 7, BV)); // miss 4
+  C.insertBool(pset::Op::IsEmpty, 7, true);
+  EXPECT_TRUE(C.lookupBool(pset::Op::IsEmpty, 7, BV)); // hit 3
+  EXPECT_TRUE(BV);
+  pset::CacheStats S = C.stats();
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 4u);
+  EXPECT_EQ(S.Evictions, 0u);
+  // Per-shard traffic must sum exactly to the global counters, and the
+  // two resident entries must be accounted for.
+  uint64_t H = 0, M = 0, E = 0, N = 0;
+  for (const pset::OpCache::ShardStats &PS : C.perShardStats()) {
+    H += PS.Hits;
+    M += PS.Misses;
+    E += PS.Evictions;
+    N += PS.Entries;
+  }
+  EXPECT_EQ(H, 3u);
+  EXPECT_EQ(M, 4u);
+  EXPECT_EQ(E, 0u);
+  EXPECT_EQ(N, 2u);
+}
+
+TEST(OpCacheMechanics, ClearKeepsCounters) {
+  pset::OpCache C(1024);
+  Relation R = parseRelation("{ [i] : 0 <= i <= 3 }");
+  Relation Out;
+  C.insert(pset::Op::Simplify, 1, 2, R);
+  EXPECT_TRUE(C.lookup(pset::Op::Simplify, 1, 2, Out));
+  C.clear();
+  // Entries gone, counters cumulative — exactly one post-clear miss.
+  EXPECT_FALSE(C.lookup(pset::Op::Simplify, 1, 2, Out));
+  pset::CacheStats S = C.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  uint64_t N = 0;
+  for (const pset::OpCache::ShardStats &PS : C.perShardStats())
+    N += PS.Entries;
+  EXPECT_EQ(N, 0u);
 }
 
 TEST(OpCacheMechanics, DisabledCacheRecordsNothing) {

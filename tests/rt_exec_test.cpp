@@ -19,6 +19,7 @@
 #include "core/Compiler.h"
 #include "net/Loopback.h"
 #include "net/Socket.h"
+#include "obs/Trace.h"
 #include "rt/RankEngine.h"
 #include "rt/RankResult.h"
 #include "spmd/Interp.h"
@@ -201,12 +202,97 @@ TEST(RtDump, ParserDiagnosesTruncation) {
   EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
 }
 
+/// Per-rank trace buffers wired through RankConfig::Trace: the engine
+/// emits one "send" complete event at exactly the sites that bump
+/// RunResult::Messages, so per-rank send-span counts equal the per-rank
+/// message counters, the merged timeline's total equals the summed
+/// counter, and all four rank lanes survive the merge. With DHPF_OBS=OFF
+/// the same run records nothing at all.
+TEST(RtExec, TraceSendEventsMatchMessageCounters) {
+  Subject S = std::move(subjects()[0]); // jacobi on a 2x2 mesh
+  auto Compiled = core::compileProgram(*S.App.Prog);
+  ASSERT_TRUE(Compiled);
+  const spmd::SpmdProgram &SP = Compiled->Program;
+  spmd::RunConfig RC;
+  RC.ProcExtents[S.App.ProcArrayName] = {2, 2};
+
+  net::LoopbackMesh Mesh(4);
+  obs::TraceBuffer Bufs[4];
+  uint64_t Msgs[4] = {};
+  std::vector<std::string> Errs(4);
+  std::vector<std::thread> Ts;
+  for (unsigned R = 0; R != 4; ++R)
+    Ts.emplace_back([&, R] {
+      try {
+        Bufs[R].setLane(R + 1, "rank " + std::to_string(R));
+        Bufs[R].start();
+        auto T = Mesh.transport(R);
+        rt::RankConfig RCfg;
+        RCfg.Run = RC;
+        RCfg.Rank = R;
+        RCfg.Trace = &Bufs[R];
+        rt::RankEngine E(SP, RCfg, *T);
+        S.App.Setup(E);
+        Msgs[R] = E.run().Messages;
+      } catch (const std::exception &Ex) {
+        Errs[R] = Ex.what();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  for (unsigned R = 0; R != 4; ++R)
+    ASSERT_EQ(Errs[R], "") << "rank " << R;
+
+  if (!obs::compiledIn()) {
+    for (const obs::TraceBuffer &B : Bufs)
+      EXPECT_EQ(B.eventCount(), 0u);
+    return;
+  }
+
+  uint64_t TotalSends = 0, TotalRecvs = 0, TotalMsgs = 0;
+  for (unsigned R = 0; R != 4; ++R) {
+    uint64_t Sends = 0;
+    for (const obs::TraceEvent &E : Bufs[R].snapshot()) {
+      Sends += E.Name == "send" && E.Ph == 'X';
+      TotalRecvs += E.Name == "recv" && E.Ph == 'X';
+    }
+    EXPECT_EQ(Sends, Msgs[R]) << "rank " << R;
+    TotalSends += Sends;
+    TotalMsgs += Msgs[R];
+  }
+  EXPECT_GT(TotalSends, 0u);
+  EXPECT_GT(TotalRecvs, 0u);
+  EXPECT_EQ(TotalSends, TotalMsgs);
+
+  // The stitched timeline: one valid document, every rank's lane labeled,
+  // and event counts preserved by the merge.
+  std::vector<std::string> Docs;
+  for (const obs::TraceBuffer &B : Bufs)
+    Docs.push_back(B.chromeJson());
+  std::string Merged = obs::mergeChromeTraces(Docs);
+  for (unsigned R = 0; R != 4; ++R)
+    EXPECT_NE(Merged.find("\"name\": \"rank " + std::to_string(R) + "\""),
+              std::string::npos)
+        << "lane for rank " << R << " missing from merged trace";
+  uint64_t MergedSends = 0;
+  for (size_t Pos = 0;
+       (Pos = Merged.find("\"name\": \"send\"", Pos)) != std::string::npos;
+       ++Pos)
+    ++MergedSends;
+  EXPECT_EQ(MergedSends, TotalSends);
+}
+
 /// Fault-injected distributed run: some rank must die with a named-rank
 /// TransportError, and the whole mesh must wind down within the watchdog —
-/// this test hanging IS the failure mode it guards against.
+/// this test hanging IS the failure mode it guards against. The injected
+/// fault must also land in the trace as an instant event naming the
+/// offending rank and the action.
 TEST(RtExec, FaultInjectionDiagnosesNeverHangs) {
   setenv("DHPF_NET_FAULT", "corrupt=1,seed=11,after=0", 1);
   setenv("DHPF_NET_TIMEOUT_MS", "2000", 1);
+  obs::TraceBuffer &GB = obs::TraceBuffer::global();
+  GB.clear();
+  GB.start();
   auto T0 = std::chrono::steady_clock::now();
 
   Subject S = std::move(subjects()[0]); // jacobi
@@ -237,6 +323,7 @@ TEST(RtExec, FaultInjectionDiagnosesNeverHangs) {
     T.join();
   unsetenv("DHPF_NET_FAULT");
   unsetenv("DHPF_NET_TIMEOUT_MS");
+  GB.stop();
 
   double Secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - T0)
@@ -246,6 +333,22 @@ TEST(RtExec, FaultInjectionDiagnosesNeverHangs) {
   for (const std::string &E : Errs)
     AnyNamed |= E.find("rank") != std::string::npos;
   EXPECT_TRUE(AnyNamed) << "no rank reported a named-peer diagnostic";
+
+  if (obs::compiledIn()) {
+    // The transport recorded the injection itself: an instant "fault"
+    // event whose args name the offending rank and the action taken.
+    bool FaultSeen = false;
+    for (const obs::TraceEvent &E : GB.snapshot()) {
+      if (E.Name != "fault" || E.Ph != 'i')
+        continue;
+      FaultSeen = true;
+      EXPECT_NE(E.Args.find("\"rank\": "), std::string::npos) << E.Args;
+      EXPECT_NE(E.Args.find("\"action\": \"corrupt\""), std::string::npos)
+          << E.Args;
+    }
+    EXPECT_TRUE(FaultSeen) << "no fault instant event in the trace";
+  }
+  GB.clear();
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 
 #include "core/InPlace.h"
 #include "net/Socket.h"
+#include "obs/Trace.h"
 #include "rt/Launch.h"
 #include "rt/RankEngine.h"
 #include "rt/RankResult.h"
@@ -137,6 +138,20 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // DHPF_TRACE (set per rank by the launcher, or by hand) turns on this
+  // process's trace buffer; the rank traces in lane rank+1 (lane 0 is the
+  // driver), so merged timelines show every process side by side.
+  std::string TracePath = obs::startTraceFromEnv(
+      static_cast<uint32_t>(O.Rank) + 1, "rank " + std::to_string(O.Rank));
+  // Written on failure paths too — the trace of a dying rank is the one
+  // worth reading.
+  auto WriteTrace = [&TracePath] {
+    if (TracePath.empty())
+      return;
+    std::ofstream TF(TracePath, std::ios::binary | std::ios::trunc);
+    TF << obs::TraceBuffer::global().chromeJson();
+  };
+
   try {
     spmd::ProgramLayout L = spmd::resolveLayout(*SP, S->Config);
     if (static_cast<unsigned long>(O.Rank) >= L.NumProcs) {
@@ -170,11 +185,19 @@ int main(int Argc, char **Argv) {
                 << O.ResultPath << "\n";
       return 1;
     }
+    WriteTrace();
+    std::string MetricsPath = obs::metricsPathFromEnv();
+    if (!MetricsPath.empty()) {
+      std::ofstream MF(MetricsPath, std::ios::binary | std::ios::trunc);
+      MF << obs::MetricsRegistry::global().reportText();
+    }
   } catch (const net::TransportError &E) {
     std::cerr << "dhpf_rt rank " << O.Rank << ": " << E.what() << "\n";
+    WriteTrace();
     return 1;
   } catch (const std::exception &E) {
     std::cerr << "dhpf_rt rank " << O.Rank << ": " << E.what() << "\n";
+    WriteTrace();
     return 1;
   }
   return 0;

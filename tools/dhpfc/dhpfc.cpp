@@ -28,6 +28,8 @@
 #include "core/InPlace.h"
 #include "hpf/HpfParser.h"
 #include "hpf/HpfPrinter.h"
+#include "obs/Trace.h"
+#include "pset/OpCache.h"
 #include "rt/Launch.h"
 #include "rt/Session.h"
 #include "spmd/Interp.h"
@@ -98,6 +100,14 @@ int usage(const char *Argv0) {
          "DHPF_LAUNCH_TIMEOUT_MS or 60000)\n"
       << "  --keep-mesh          keep the mesh/result directory for "
          "debugging\n"
+      << "\n"
+      << "profiling options (all commands):\n"
+      << "  --trace=<file>       write a Chrome trace (chrome://tracing "
+         "JSON); under\n"
+      << "                       launch, per-rank lanes are merged in\n"
+      << "  --metrics=<file>     write the metrics registry report "
+         "(.json = JSON,\n"
+      << "                       else flat text)\n"
       << "\n"
       << "  --version            print version, build type, engines, and "
          "transports\n";
@@ -177,7 +187,16 @@ struct CliOptions {
   std::string RtBin;   ///< --rt-bin override for launch
   int TimeoutMs = 0;   ///< --timeout-ms launch deadline
   bool KeepMesh = false;
+  std::string TracePath;   ///< --trace= (or DHPF_TRACE)
+  std::string MetricsPath; ///< --metrics= (or DHPF_METRICS)
 };
+
+/// Trace documents beyond the driver's own buffer (the per-rank traces a
+/// launch collected), merged into the --trace output at exit.
+std::vector<std::string> &extraTraceDocs() {
+  static std::vector<std::string> Docs;
+  return Docs;
+}
 
 bool parseInt(const std::string &S, int64_t &Out) {
   if (S.empty())
@@ -266,6 +285,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.TimeoutMs = static_cast<int>(N);
+    } else if (Value(A, "--trace=", V)) {
+      O.TracePath = V;
+    } else if (Value(A, "--metrics=", V)) {
+      O.MetricsPath = V;
     } else if (A == "--keep-mesh") {
       O.KeepMesh = true;
     } else if (A == "--no-split") {
@@ -567,6 +590,7 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
   LO.SpmdPath = SpmdPath;
   LO.TimeoutMs = O.TimeoutMs;
   LO.KeepDir = O.KeepMesh;
+  LO.Trace = obs::TraceBuffer::global().active();
   LO.RtBinary = rt::findRtBinary(O.RtBin, Argv0);
   if (LO.RtBinary.empty()) {
     std::cerr << "dhpfc: cannot find the dhpf_rt binary (try --rt-bin= or "
@@ -575,6 +599,9 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
   }
 
   rt::LaunchResult LR = rt::launchRanks(*SP, *S, LO);
+  for (const std::string &Doc : LR.RankTraces)
+    if (!Doc.empty())
+      extraTraceDocs().push_back(Doc);
   if (!LR.Ok) {
     std::cerr << "dhpfc: launch FAILED:\n" << LR.Error << "\n";
     if (!LR.Dir.empty())
@@ -707,15 +734,33 @@ int cmdList() {
 
 } // namespace
 
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    return usage(Argv[0]);
-  std::string Cmd = Argv[1];
-  if (Cmd == "--version" || Cmd == "version")
-    return printVersion();
-  CliOptions O;
-  if (!parseArgs(Argc, Argv, O))
-    return 2;
+/// Writes the --trace / --metrics outputs (no-ops when not requested).
+/// The driver's buffer plus any per-rank documents a launch collected are
+/// merged into one timeline; metrics pick JSON or text by extension.
+void writeObsReports(const CliOptions &O) {
+  if (!O.TracePath.empty()) {
+    obs::TraceBuffer::global().stop();
+    std::vector<std::string> Docs = {obs::TraceBuffer::global().chromeJson()};
+    for (std::string &Doc : extraTraceDocs())
+      Docs.push_back(std::move(Doc));
+    std::string Err;
+    if (!writeFile(O.TracePath, obs::mergeChromeTraces(Docs), Err))
+      std::cerr << "dhpfc: " << Err << "\n";
+  }
+  if (!O.MetricsPath.empty()) {
+    pset::OpCache::global().publishMetrics();
+    obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+    bool Json = O.MetricsPath.size() > 5 &&
+                O.MetricsPath.compare(O.MetricsPath.size() - 5, 5,
+                                      ".json") == 0;
+    std::string Err;
+    if (!writeFile(O.MetricsPath, Json ? R.reportJson() : R.reportText(),
+                   Err))
+      std::cerr << "dhpfc: " << Err << "\n";
+  }
+}
+
+int dispatch(const std::string &Cmd, const CliOptions &O, const char *Argv0) {
   if (Cmd == "list")
     return cmdList();
   if (Cmd == "export")
@@ -729,9 +774,34 @@ int main(int Argc, char **Argv) {
   if (Cmd == "run")
     return cmdRun(O);
   if (Cmd == "launch")
-    return cmdLaunch(O, Argv[0]);
+    return cmdLaunch(O, Argv0);
   if (Cmd == "pipeline")
     return cmdPipeline(O);
   std::cerr << "dhpfc: unknown command '" << Cmd << "'\n";
-  return usage(Argv[0]);
+  return usage(Argv0);
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Cmd = Argv[1];
+  if (Cmd == "--version" || Cmd == "version")
+    return printVersion();
+  CliOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+  // The env vars mirror the flags so wrapper scripts (and the rank
+  // processes a launch spawns) can request profiles without CLI changes.
+  if (O.TracePath.empty())
+    if (const char *Env = std::getenv("DHPF_TRACE"))
+      O.TracePath = Env;
+  if (O.MetricsPath.empty())
+    O.MetricsPath = obs::metricsPathFromEnv();
+  if (!O.TracePath.empty()) {
+    obs::TraceBuffer::global().setLane(0, "driver");
+    obs::TraceBuffer::global().start();
+  }
+  int Rc = dispatch(Cmd, O, Argv[0]);
+  writeObsReports(O);
+  return Rc;
 }
