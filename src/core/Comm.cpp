@@ -6,6 +6,8 @@
 
 #include "core/Comm.h"
 
+#include <utility>
+
 using namespace dhpf;
 using namespace dhpf::core;
 using namespace dhpf::hpf;
@@ -76,7 +78,8 @@ CommSets core::computeCommSets(const MapBuilder &MB,
       auto UnionIf = [](Relation &A, const Relation &B) {
         if (B.conjuncts().empty())
           return;
-        A = A.conjuncts().empty() ? B : A.unionWith(B).simplify();
+        A = std::as_const(A).conjuncts().empty() ? B
+                                                 : A.unionWith(B).simplify();
       };
       UnionIf(Acc.SendCommMap, S.SendCommMap);
       UnionIf(Acc.RecvCommMap, S.RecvCommMap);

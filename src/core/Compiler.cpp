@@ -15,6 +15,8 @@
 
 #include "core/CompilerDriver.h"
 
+#include <utility>
+
 using namespace dhpf;
 using namespace dhpf::core;
 using namespace dhpf::hpf;
@@ -31,7 +33,7 @@ bool core::isRectSectionProven(const Relation &S) {
   for (unsigned D = 0; D != N; ++D) {
     Relation Pd = S.projectOntoDim(D);
     Relation Lift(S.space());
-    for (const Conjunct &C : Pd.conjuncts()) {
+    for (const Conjunct &C : std::as_const(Pd).conjuncts()) {
       unsigned NP = Pd.numParams();
       std::vector<int> Map(C.numVars());
       for (unsigned P = 0; P != NP; ++P)

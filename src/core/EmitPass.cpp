@@ -19,6 +19,7 @@
 #include "obs/Trace.h"
 
 #include <ostream>
+#include <utility>
 
 using namespace dhpf;
 using namespace dhpf::core;
@@ -320,7 +321,7 @@ private:
         // Rectangular-section check: like the paper's contiguity test,
         // applied to single-conjunct sections only (cost control).
         PhaseTimers::Scope S(*T, phase::RectCheck);
-        if (PerPartner.conjuncts().size() <= 1 &&
+        if (std::as_const(PerPartner).conjuncts().size() <= 1 &&
             isRectSectionProven(PerPartner))
           ++Ctx->Out->NumRectSections;
       }

@@ -17,6 +17,7 @@
 
 #include <map>
 #include <ostream>
+#include <utility>
 
 using namespace dhpf;
 using namespace dhpf::core;
@@ -62,7 +63,7 @@ public:
       unsigned NumGroups = NA.Groups.empty() ? 0 : NA.Groups.back() + 1;
       NA.GroupIters.resize(NumGroups);
       for (unsigned J = 0; J != Nest.Stmts.size(); ++J)
-        if (NA.GroupIters[NA.Groups[J]].conjuncts().empty())
+        if (std::as_const(NA.GroupIters[NA.Groups[J]]).conjuncts().empty())
           NA.GroupIters[NA.Groups[J]] =
               cpIterSet(Ctx.MB, Nest, NA.CPs[J]).simplify().coalesce();
     });
@@ -165,10 +166,11 @@ public:
       {
         PhaseTimers::Scope S(NA.Timers, phase::CommGeneration);
         for (EventPlan &EP : NA.Plans)
-          EP.Communicates = !((EP.CS.NLReadData.conjuncts().empty() ||
-                               EP.CS.NLReadData.isEmpty()) &&
-                              (EP.CS.NLWriteData.conjuncts().empty() ||
-                               EP.CS.NLWriteData.isEmpty()));
+          EP.Communicates =
+              !((std::as_const(EP.CS.NLReadData).conjuncts().empty() ||
+                 EP.CS.NLReadData.isEmpty()) &&
+                (std::as_const(EP.CS.NLWriteData).conjuncts().empty() ||
+                 EP.CS.NLWriteData.isEmpty()));
       }
     });
   }

@@ -9,6 +9,7 @@
 #include "support/MathExtras.h"
 
 #include <algorithm>
+#include <utility>
 
 using namespace dhpf;
 using namespace dhpf::hpf;
@@ -145,7 +146,7 @@ LayoutResult MapBuilder::layout(const std::string &ArrayName) const {
     // Replicated array: a rank-0 domain owning every element.
     Relation DS = dataSet(ArrayName);
     Relation Map(Space::map({}, DS.space().outNames(), DS.space().params()));
-    for (const Conjunct &C : DS.conjuncts())
+    for (const Conjunct &C : std::as_const(DS).conjuncts())
       Map.addConjunct(C); // identical column layout (0 in dims)
     Res.Map = std::move(Map);
     return Res;

@@ -21,6 +21,7 @@
 #define DHPF_PSET_CONJUNCT_H
 
 #include "support/MathExtras.h"
+#include "support/SmallVec.h"
 
 #include <cassert>
 #include <cstdint>
@@ -30,8 +31,10 @@
 namespace dhpf {
 
 /// One affine constraint: sum(Coef[i] * v_i) + Coef.back() (= 0 | >= 0).
+/// Coefficients live inline (support/SmallVec.h) up to kInlineCoefs
+/// columns, so typical rows never touch the heap.
 struct Row {
-  std::vector<int64_t> Coef;
+  CoefVec Coef;
   bool IsEq = false;
 
   int64_t constant() const { return Coef.back(); }
@@ -90,14 +93,14 @@ public:
   std::vector<Row> &rows() { return Rows; }
 
   /// Appends a constraint. \p Coef must have width() entries.
-  void addRow(std::vector<int64_t> Coef, bool IsEq) {
+  void addRow(CoefVec Coef, bool IsEq) {
     assert(Coef.size() == width() && "row width mismatch");
     Rows.push_back({std::move(Coef), IsEq});
   }
 
   /// Appends a zero row and returns a mutable reference to it.
   Row &addZeroRow(bool IsEq) {
-    Rows.push_back({std::vector<int64_t>(width(), 0), IsEq});
+    Rows.push_back({CoefVec(width(), 0), IsEq});
     return Rows.back();
   }
 

@@ -44,7 +44,7 @@ uint64_t hashRow(const Row &R, unsigned NumVars) {
   int64_t G = 0;
   for (unsigned I = 0; I != NumVars; ++I)
     G = gcd64(G, R.Coef[I]);
-  std::vector<int64_t> C = R.Coef;
+  CoefVec C = R.Coef;
   if (G > 1) {
     if (R.IsEq) {
       if (C.back() % G == 0)
@@ -87,8 +87,7 @@ uint64_t pset::fingerprint(const Conjunct &C) {
   return H;
 }
 
-uint64_t pset::fingerprint(const Relation &R) {
-  const Space &S = R.space();
+uint64_t pset::fingerprintSpace(const Space &S) {
   uint64_t H = 0x6a09e667f3bcc908ULL;
   for (const std::string &P : S.params())
     H = combine(H, hashString(P));
@@ -98,6 +97,15 @@ uint64_t pset::fingerprint(const Relation &R) {
   H = combine(H, 0xa54ff53a5f1d36f1ULL);
   for (const std::string &N : S.outNames())
     H = combine(H, hashString(N));
+  return H;
+}
+
+uint64_t pset::fingerprintCombine(uint64_t Seed, uint64_t V) {
+  return combine(Seed, V);
+}
+
+uint64_t pset::fingerprint(const Relation &R) {
+  uint64_t H = fingerprintSpace(R.space());
   H = combine(H, R.conjuncts().size());
   for (const Conjunct &C : R.conjuncts())
     H = combine(H, fingerprint(C));

@@ -36,6 +36,7 @@
 namespace dhpf {
 
 class Relation;
+class Space;
 
 namespace pset {
 
@@ -46,6 +47,15 @@ uint64_t fingerprint(const Conjunct &C);
 /// Canonical structural hash of a relation: the Space (all names) plus the
 /// conjunct fingerprints in order.
 uint64_t fingerprint(const Relation &R);
+
+/// The Space-name prefix of the relation fingerprint. Exposed so
+/// Relation::fingerprint() (the memoized, intern-table-backed path) can
+/// reproduce fingerprint(Relation) exactly without a structural walk.
+uint64_t fingerprintSpace(const Space &S);
+
+/// The mixing step used to fold sizes and conjunct hashes into a relation
+/// fingerprint.
+uint64_t fingerprintCombine(uint64_t Seed, uint64_t V);
 
 /// Inclusive per-column integer bounds over the visible columns
 /// (parameters, input dims, output dims) of a conjunct, derived from rows

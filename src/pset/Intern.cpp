@@ -1,0 +1,156 @@
+//===- pset/Intern.cpp - Hash-consed conjunct arena ----------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pset/Intern.h"
+
+#include "obs/Metrics.h"
+#include "pset/Fingerprint.h"
+
+#include <algorithm>
+
+using namespace dhpf;
+using namespace dhpf::pset;
+
+Conjunct pset::canonicalConjunct(const Conjunct &C) {
+  Conjunct Out = C;
+  const unsigned NumVars = Out.numVars();
+  // Per-row normalization mirrors Fingerprint.cpp's hashRow exactly, so
+  // fingerprint-equal conjuncts canonicalize to the same form: equalities
+  // divide through only when the gcd divides the constant and flip so the
+  // first nonzero coefficient is positive; inequalities divide and floor.
+  for (Row &R : Out.rows()) {
+    int64_t G = 0;
+    for (unsigned I = 0; I != NumVars; ++I)
+      G = gcd64(G, R.Coef[I]);
+    if (G > 1) {
+      if (R.IsEq) {
+        if (R.Coef.back() % G == 0)
+          for (int64_t &X : R.Coef)
+            X /= G;
+      } else {
+        for (unsigned I = 0; I != NumVars; ++I)
+          R.Coef[I] /= G;
+        R.Coef.back() = floorDiv(R.Coef.back(), G);
+      }
+    }
+    if (R.IsEq)
+      for (unsigned I = 0; I != NumVars; ++I) {
+        if (R.Coef[I] == 0)
+          continue;
+        if (R.Coef[I] < 0)
+          for (int64_t &X : R.Coef)
+            X = -X;
+        break;
+      }
+  }
+  // Any total order works; the fingerprint hashes the row *multiset*, so
+  // duplicates are kept (no dedup — that is normalize()'s job, not ours).
+  std::sort(Out.rows().begin(), Out.rows().end(),
+            [](const Row &A, const Row &B) {
+              if (A.IsEq != B.IsEq)
+                return A.IsEq > B.IsEq;
+              return A.Coef < B.Coef;
+            });
+  return Out;
+}
+
+namespace {
+
+/// Structural equality of two *canonical* conjuncts.
+bool sameStructure(const Conjunct &A, const Conjunct &B) {
+  if (A.numParams() != B.numParams() || A.numIn() != B.numIn() ||
+      A.numOut() != B.numOut() || A.numExists() != B.numExists() ||
+      A.rows().size() != B.rows().size())
+    return false;
+  for (size_t I = 0, E = A.rows().size(); I != E; ++I) {
+    const Row &RA = A.rows()[I], &RB = B.rows()[I];
+    if (RA.IsEq != RB.IsEq || RA.Coef != RB.Coef)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+InternTable &InternTable::global() {
+  static InternTable T;
+  return T;
+}
+
+const InternedConjunct *InternTable::intern(const Conjunct &C) {
+  Conjunct Canon = canonicalConjunct(C);
+  // hashRow is idempotent on normalized rows, so this equals the
+  // fingerprint of the *original* conjunct — entries agree with the old
+  // structural path by construction.
+  uint64_t FP = fingerprint(Canon);
+  Shard &S = Shards[(FP >> 4) % kNumShards];
+  std::lock_guard<std::mutex> Lock(S.M);
+  ++S.Lookups;
+  std::vector<InternedConjunct *> &Bucket = S.Buckets[FP];
+  for (InternedConjunct *E : Bucket)
+    if (sameStructure(E->C, Canon)) {
+      ++S.Hits;
+      return E;
+    }
+  S.RowCount += Canon.rows().size();
+  S.Arena.push_back(
+      {std::move(Canon), FP, NextId.fetch_add(1, std::memory_order_relaxed)});
+  InternedConjunct *E = &S.Arena.back();
+  Bucket.push_back(E);
+  return E;
+}
+
+size_t InternTable::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Arena.size();
+  }
+  return N;
+}
+
+InternStats InternTable::stats() const {
+  InternStats Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Out.Lookups += S.Lookups;
+    Out.Hits += S.Hits;
+    Out.Entries += S.Arena.size();
+    Out.Rows += S.RowCount;
+  }
+  return Out;
+}
+
+std::vector<InternTable::ShardStats> InternTable::perShardStats() const {
+  std::vector<ShardStats> Out(kNumShards);
+  for (size_t I = 0; I != kNumShards; ++I) {
+    const Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.M);
+    Out[I].Lookups = S.Lookups;
+    Out[I].Hits = S.Hits;
+    Out[I].Entries = S.Arena.size();
+  }
+  return Out;
+}
+
+void InternTable::publishMetrics() const {
+  using obs::MetricsRegistry;
+  if (!obs::compiledIn())
+    return;
+  MetricsRegistry &R = MetricsRegistry::global();
+  InternStats T = stats();
+  R.gauge("pset.intern.lookups")->set(static_cast<int64_t>(T.Lookups));
+  R.gauge("pset.intern.hits")->set(static_cast<int64_t>(T.Hits));
+  R.gauge("pset.intern.entries")->set(static_cast<int64_t>(T.Entries));
+  R.gauge("pset.intern.rows")->set(static_cast<int64_t>(T.Rows));
+  std::vector<ShardStats> PS = perShardStats();
+  for (size_t I = 0; I != PS.size(); ++I) {
+    std::string P = "pset.intern.shard." + std::to_string(I);
+    R.gauge(P + ".lookups")->set(static_cast<int64_t>(PS[I].Lookups));
+    R.gauge(P + ".hits")->set(static_cast<int64_t>(PS[I].Hits));
+    R.gauge(P + ".entries")->set(static_cast<int64_t>(PS[I].Entries));
+  }
+}

@@ -1,0 +1,130 @@
+//===- pset/Intern.h - Hash-consed conjunct arena ------------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consing for the set engine: every Conjunct can be *interned* into a
+/// process-global, append-only arena keyed by its canonical structural form
+/// (rows GCD-normalized, equalities sign-canonicalized, rows sorted — the
+/// same equivalence the structural fingerprint of pset/Fingerprint.h
+/// collapses on purpose). Interning the same structure twice returns the
+/// same InternedConjunct pointer, so:
+///
+///   * structural equality of canonical forms is pointer equality;
+///   * the structural fingerprint is computed once per canonical form and
+///     then read off the entry (no re-walk per operation);
+///   * operation-cache keys derive from interned entries instead of
+///     re-hashed structures (see Relation::fingerprint()).
+///
+/// The arena is sharded (mutex per shard) so parallel per-nest analysis
+/// threads do not serialize, and append-only: entries are never moved or
+/// freed, so returned pointers stay valid for the process lifetime. The
+/// table is purely an accelerator — entries never influence results, only
+/// how fast equal structures are recognized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_PSET_INTERN_H
+#define DHPF_PSET_INTERN_H
+
+#include "pset/Conjunct.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dhpf {
+namespace pset {
+
+/// One canonical conjunct in the arena. Immutable after construction.
+struct InternedConjunct {
+  Conjunct C;    ///< canonical form (normalized, sorted rows)
+  uint64_t FP;   ///< structural fingerprint, computed once at intern time
+  uint32_t Id;   ///< dense process-wide id (allocation order)
+};
+
+/// Cumulative intern-table counters (process lifetime; benchmarks snapshot
+/// and subtract).
+struct InternStats {
+  uint64_t Lookups = 0; ///< intern() calls
+  uint64_t Hits = 0;    ///< calls resolved to an existing entry
+  uint64_t Entries = 0; ///< live canonical conjuncts in the arena
+  uint64_t Rows = 0;    ///< total constraint rows stored in the arena
+
+  double hitRate() const {
+    return Lookups == 0 ? 0.0
+                        : static_cast<double>(Hits) /
+                              static_cast<double>(Lookups);
+  }
+  InternStats operator-(const InternStats &O) const {
+    InternStats R;
+    R.Lookups = Lookups - O.Lookups;
+    R.Hits = Hits - O.Hits;
+    R.Entries = Entries; // sizes are levels, not deltas
+    R.Rows = Rows;
+    return R;
+  }
+};
+
+class InternTable {
+public:
+  /// The process-global table shared by every compilation phase and
+  /// analysis thread.
+  static InternTable &global();
+
+  /// Interns the canonical form of \p C; returns the unique entry for that
+  /// form. Two conjuncts that differ only in row order, a common row
+  /// factor, or equality sign receive the same entry.
+  const InternedConjunct *intern(const Conjunct &C);
+
+  /// Number of canonical conjuncts in the arena.
+  size_t size() const;
+
+  InternStats stats() const;
+
+  /// Per-shard occupancy/traffic, mirroring OpCache::perShardStats.
+  struct ShardStats {
+    uint64_t Lookups = 0;
+    uint64_t Hits = 0;
+    uint64_t Entries = 0;
+  };
+  static constexpr size_t numShards() { return kNumShards; }
+  std::vector<ShardStats> perShardStats() const;
+
+  /// Mirrors the counters into obs::MetricsRegistry under "pset.intern.*"
+  /// (gauges: repeated publication overwrites).
+  void publishMetrics() const;
+
+private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex M;
+    /// Canonical-hash -> candidate entries (chained on rare collisions).
+    std::unordered_map<uint64_t, std::vector<InternedConjunct *>> Buckets;
+    /// Append-only storage; deque growth never moves existing entries.
+    std::deque<InternedConjunct> Arena;
+    uint64_t Lookups = 0;
+    uint64_t Hits = 0;
+    uint64_t RowCount = 0;
+  };
+
+  Shard Shards[kNumShards];
+  std::atomic<uint32_t> NextId{0};
+};
+
+/// The canonical structural form interning collapses to: rows
+/// GCD-normalized (equalities divide through only when the gcd divides the
+/// constant, inequalities floor the constant), equalities flipped so the
+/// first nonzero coefficient is positive, rows sorted. Exposed for tests.
+Conjunct canonicalConjunct(const Conjunct &C);
+
+} // namespace pset
+} // namespace dhpf
+
+#endif // DHPF_PSET_INTERN_H

@@ -7,6 +7,7 @@
 #include "pset/OpCache.h"
 
 #include "obs/Metrics.h"
+#include "pset/Intern.h"
 
 #include <cstdlib>
 
@@ -131,6 +132,11 @@ void OpCache::publishMetrics() {
       ->set(static_cast<int64_t>(T.FastSubsetFP));
   R.gauge("pset.cache.dup_rows_removed")
       ->set(static_cast<int64_t>(T.DupRowsRemoved));
+  R.gauge("pset.cache.fast_implied_atom")
+      ->set(static_cast<int64_t>(T.FastImpliedAtom));
+  // The intern table publishes its own pset.intern.* family (global and
+  // per-shard) next to the cache's.
+  InternTable::global().publishMetrics();
   std::vector<ShardStats> PS = perShardStats();
   for (size_t I = 0; I != PS.size(); ++I) {
     std::string P = "pset.cache.shard." + std::to_string(I);
@@ -150,5 +156,11 @@ CacheStats OpCache::stats() const {
   S.FastDisjointBBox = NFastDisjoint.load(std::memory_order_relaxed);
   S.FastSubsetFP = NFastSubset.load(std::memory_order_relaxed);
   S.DupRowsRemoved = NDupRows.load(std::memory_order_relaxed);
+  S.FastImpliedAtom = NImpliedAtom.load(std::memory_order_relaxed);
+  InternStats IS = InternTable::global().stats();
+  S.InternLookups = IS.Lookups;
+  S.InternHits = IS.Hits;
+  S.InternEntries = IS.Entries;
+  S.InternRows = IS.Rows;
   return S;
 }

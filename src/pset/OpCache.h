@@ -64,6 +64,16 @@ struct CacheStats {
   uint64_t FastSubsetFP = 0;
   /// Syntactically duplicate constraint rows dropped after intersection.
   uint64_t DupRowsRemoved = 0;
+  /// Subtract branches skipped because the minuend conjunct syntactically
+  /// implied the atom being negated (the branch is provably empty).
+  uint64_t FastImpliedAtom = 0;
+  // Intern-table (pset/Intern.h) traffic, mirrored here so driver
+  // snapshots and bench tables report the hash-consing layer alongside the
+  // cache. Lookups/Hits are cumulative; Entries/Rows are current levels.
+  uint64_t InternLookups = 0;
+  uint64_t InternHits = 0;
+  uint64_t InternEntries = 0;
+  uint64_t InternRows = 0;
 
   double hitRate() const {
     uint64_t T = Hits + Misses;
@@ -78,6 +88,11 @@ struct CacheStats {
     R.FastDisjointBBox = FastDisjointBBox - O.FastDisjointBBox;
     R.FastSubsetFP = FastSubsetFP - O.FastSubsetFP;
     R.DupRowsRemoved = DupRowsRemoved - O.DupRowsRemoved;
+    R.FastImpliedAtom = FastImpliedAtom - O.FastImpliedAtom;
+    R.InternLookups = InternLookups - O.InternLookups;
+    R.InternHits = InternHits - O.InternHits;
+    R.InternEntries = InternEntries; // levels, not deltas
+    R.InternRows = InternRows;
     return R;
   }
 };
@@ -135,6 +150,9 @@ public:
   void noteDupRows(uint64_t N) {
     NDupRows.fetch_add(N, std::memory_order_relaxed);
   }
+  void noteImpliedAtom() {
+    NImpliedAtom.fetch_add(1, std::memory_order_relaxed);
+  }
 
 private:
   static constexpr size_t kNumShards = 16;
@@ -183,7 +201,7 @@ private:
   std::atomic<bool> Enabled{true};
   std::atomic<uint64_t> NHits{0}, NMisses{0}, NEvictions{0};
   std::atomic<uint64_t> NFastEmpty{0}, NFastDisjoint{0}, NFastSubset{0},
-      NDupRows{0};
+      NDupRows{0}, NImpliedAtom{0};
 };
 
 } // namespace pset

@@ -7,6 +7,7 @@
 #include "pset/Relation.h"
 
 #include "pset/Fingerprint.h"
+#include "pset/Intern.h"
 #include "pset/OmegaTest.h"
 #include "pset/OpCache.h"
 
@@ -27,11 +28,15 @@ Relation cachedBinaryOp(pset::Op O, const Relation &A, const Relation &B,
   pset::OpCache &C = pset::OpCache::global();
   if (!C.enabled())
     return Compute();
-  uint64_t FA = pset::fingerprint(A), FB = pset::fingerprint(B);
+  // Memoized, intern-table-backed keys: O(1) after each operand's first use.
+  uint64_t FA = A.fingerprint(), FB = B.fingerprint();
   Relation R;
   if (C.lookup(O, FA, FB, R))
     return R;
   R = Compute();
+  // Validate the result's memo before inserting, so every future cache hit
+  // hands back a relation that already knows its own fingerprint.
+  R.fingerprint();
   C.insert(O, FA, FB, R);
   return R;
 }
@@ -41,11 +46,12 @@ Relation cachedUnaryOp(pset::Op O, const Relation &A, Fn Compute) {
   pset::OpCache &C = pset::OpCache::global();
   if (!C.enabled())
     return Compute();
-  uint64_t FA = pset::fingerprint(A);
+  uint64_t FA = A.fingerprint();
   Relation R;
   if (C.lookup(O, FA, 0, R))
     return R;
   R = Compute();
+  R.fingerprint();
   C.insert(O, FA, 0, R);
   return R;
 }
@@ -78,6 +84,7 @@ Relation Relation::universe(Space S) {
 }
 
 Conjunct &Relation::addConjunct() {
+  invalidateFP();
   Conjs.emplace_back(Sp.numParams(), Sp.numIn(), Sp.numOut());
   return Conjs.back();
 }
@@ -85,7 +92,26 @@ Conjunct &Relation::addConjunct() {
 void Relation::addConjunct(Conjunct C) {
   assert(C.numParams() == Sp.numParams() && C.numIn() == Sp.numIn() &&
          C.numOut() == Sp.numOut() && "conjunct shape mismatch");
+  invalidateFP();
   Conjs.push_back(std::move(C));
+}
+
+uint64_t Relation::fingerprint() const {
+  uint64_t H = FPCache.load(std::memory_order_relaxed);
+  if (H != 0)
+    return H;
+  // Same formula as pset::fingerprint(*this): the interned entry's FP is
+  // the conjunct's structural fingerprint (interning canonicalizes with the
+  // exact row normalization the structural hash applies).
+  H = pset::fingerprintSpace(Sp);
+  H = pset::fingerprintCombine(H, Conjs.size());
+  pset::InternTable &T = pset::InternTable::global();
+  for (const Conjunct &C : Conjs)
+    H = pset::fingerprintCombine(H, T.intern(C)->FP);
+  if (H == 0)
+    H = 0x9e3779b97f4a7c15ULL; // 0 is reserved as the "invalid" sentinel
+  FPCache.store(H, std::memory_order_relaxed);
+  return H;
 }
 
 //===----------------------------------------------------------------------===//
@@ -138,8 +164,19 @@ Relation Relation::intersect(const Relation &O) const {
 }
 
 Relation Relation::intersectImpl(const Relation &O) const {
-  Relation A = *this, B = O;
-  alignPair(A, B);
+  // Deep-copy the operands only when parameter alignment actually has to
+  // rewrite them; identical parameter lists (the common case inside the
+  // comm-set chains) read straight from the originals.
+  Relation StoreA, StoreB;
+  const Relation *PA = this, *PB = &O;
+  if (Sp.params() != O.Sp.params()) {
+    StoreA = *this;
+    StoreB = O;
+    alignPair(StoreA, StoreB);
+    PA = &StoreA;
+    PB = &StoreB;
+  }
+  const Relation &A = *PA, &B = *PB;
   assert(A.Sp.sameDims(B.Sp) && "intersect requires matching dimensions");
   bool Fast = fastPathsOn();
   // Cheap-reject: conjunct pairs with disjoint bounding boxes conjoin to
@@ -154,6 +191,7 @@ Relation Relation::intersectImpl(const Relation &O) const {
       BoxB.push_back(pset::bboxOf(CB));
   }
   Relation R(A.Sp);
+  R.Conjs.reserve(A.Conjs.size() * B.Conjs.size());
   unsigned Dups = 0;
   for (unsigned I = 0; I != A.Conjs.size(); ++I)
     for (unsigned J = 0; J != B.Conjs.size(); ++J) {
@@ -161,8 +199,16 @@ Relation Relation::intersectImpl(const Relation &O) const {
         pset::OpCache::global().noteFastDisjoint();
         continue;
       }
-      Conjunct C = A.Conjs[I];
-      C.conjoin(B.Conjs[J]);
+      // §5 guard factoring: conjoining with an unconstrained conjunct (a
+      // loop-invariant guard that imposes nothing) reproduces the other
+      // operand exactly — skip the per-row renumbering walk.
+      const bool SkipA =
+          Fast && A.Conjs[I].isUniverse() && A.Conjs[I].numExists() == 0;
+      const bool SkipB = !SkipA && Fast && B.Conjs[J].isUniverse() &&
+                         B.Conjs[J].numExists() == 0;
+      Conjunct C = SkipA ? B.Conjs[J] : A.Conjs[I];
+      if (!SkipA && !SkipB)
+        C.conjoin(B.Conjs[J]);
       if (Fast)
         Dups += dedupRowsSyntactic(C);
       R.Conjs.push_back(std::move(C));
@@ -173,9 +219,16 @@ Relation Relation::intersectImpl(const Relation &O) const {
 }
 
 Relation Relation::unionWith(const Relation &O) const {
+  if (Sp.params() == O.Sp.params()) {
+    Relation A = *this;
+    A.invalidateFP();
+    A.Conjs.insert(A.Conjs.end(), O.Conjs.begin(), O.Conjs.end());
+    return A;
+  }
   Relation A = *this, B = O;
   alignPair(A, B);
   assert(A.Sp.sameDims(B.Sp) && "union requires matching dimensions");
+  A.invalidateFP();
   for (Conjunct &C : B.Conjs)
     A.Conjs.push_back(std::move(C));
   return A;
@@ -220,6 +273,42 @@ void addAtom(Conjunct &C, const NegAtom &A, int64_t Residue, bool Negated) {
   C.rows().push_back(std::move(NR));
 }
 
+/// True when conjunct \p C syntactically implies the ordinary-inequality
+/// atom (existential-free, width Base+1): some existential-free row of C
+/// with the same visible coefficients forces the atom. Used to prune
+/// subtract branches whose negated atom the Omega test would reject anyway.
+bool impliedAtomSyntactically(const Conjunct &C, const Row &Atom) {
+  const unsigned Base = C.numParams() + C.numIn() + C.numOut();
+  assert(Atom.Coef.size() == Base + 1 && "unexpected atom width");
+  for (const Row &R : C.rows()) {
+    bool UsesExist = false;
+    for (unsigned E = 0; E != C.numExists(); ++E)
+      if (R.Coef[C.existCol(E)] != 0) {
+        UsesExist = true;
+        break;
+      }
+    if (UsesExist)
+      continue;
+    bool SameCoef = true, NegCoef = true;
+    for (unsigned I = 0; I != Base && (SameCoef || NegCoef); ++I) {
+      SameCoef &= R.Coef[I] == Atom.Coef[I];
+      NegCoef &= R.Coef[I] == -Atom.Coef[I];
+    }
+    const int64_t K = R.Coef[C.width() - 1];
+    if (R.IsEq) {
+      // expr + K = 0 forces expr = -K; the atom expr + k >= 0 holds iff
+      // -K >= -k, i.e. K <= k (mirrored for the negated orientation).
+      if ((SameCoef && K <= Atom.constant()) ||
+          (NegCoef && K >= -Atom.constant()))
+        return true;
+    } else if (SameCoef && K <= Atom.constant()) {
+      // expr + K >= 0 with K <= k implies expr + k >= 0.
+      return true;
+    }
+  }
+  return false;
+}
+
 } // namespace
 
 Relation Relation::subtract(const Relation &O) const {
@@ -228,8 +317,16 @@ Relation Relation::subtract(const Relation &O) const {
 }
 
 Relation Relation::subtractImpl(const Relation &O) const {
-  Relation A = *this, B = O;
-  alignPair(A, B);
+  Relation StoreA, StoreB;
+  const Relation *PA = this, *PB = &O;
+  if (Sp.params() != O.Sp.params()) {
+    StoreA = *this;
+    StoreB = O;
+    alignPair(StoreA, StoreB);
+    PA = &StoreA;
+    PB = &StoreB;
+  }
+  const Relation &A = *PA, &B = *PB;
   assert(A.Sp.sameDims(B.Sp) && "subtract requires matching dimensions");
   bool Fast = fastPathsOn();
 
@@ -287,6 +384,30 @@ Relation Relation::subtractImpl(const Relation &O) const {
     }
   }
 
+  // §5 disjunct-combination ordering: process subtrahend conjuncts with the
+  // fewest atoms first. Each form multiplies the working list by up to its
+  // branch count, so putting the narrow forms first keeps every
+  // intermediate list (and the Omega tests run on it) as small as possible;
+  // atom-free forms (subtracting the universe) empty the list immediately.
+  if (Fast) {
+    std::vector<size_t> Order(NegForms.size());
+    for (size_t I = 0; I != Order.size(); ++I)
+      Order[I] = I;
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t X, size_t Y) {
+      return NegForms[X].size() < NegForms[Y].size();
+    });
+    std::vector<std::vector<NegAtom>> SortedForms;
+    std::vector<pset::BBox> SortedBoxes;
+    SortedForms.reserve(NegForms.size());
+    SortedBoxes.reserve(NegBoxes.size());
+    for (size_t I : Order) {
+      SortedForms.push_back(std::move(NegForms[I]));
+      SortedBoxes.push_back(std::move(NegBoxes[I]));
+    }
+    NegForms = std::move(SortedForms);
+    NegBoxes = std::move(SortedBoxes);
+  }
+
   Relation Res(A.Sp);
   for (const Conjunct &CA : A.Conjs) {
     std::vector<Conjunct> List = {CA};
@@ -306,6 +427,14 @@ Relation Relation::subtractImpl(const Relation &O) const {
         // C - conj(atoms) = union over j of (C && a_0..a_{j-1} && !a_j),
         // where !a_j for a divisibility atom branches over residues.
         for (unsigned J = 0, E = Atoms.size(); J != E; ++J) {
+          // §5 implied-guard pruning: when C syntactically implies an
+          // ordinary atom, C && !atom is unsatisfiable — the Omega test
+          // below would reject the branch, so skip building it.
+          if (Fast && Atoms[J].Mod == 0 &&
+              impliedAtomSyntactically(C, Atoms[J].R)) {
+            pset::OpCache::global().noteImpliedAtom();
+            continue;
+          }
           int64_t NumBranches = Atoms[J].Mod == 0 ? 1 : Atoms[J].Mod - 1;
           for (int64_t Br = 1; Br <= NumBranches; ++Br) {
             Conjunct CJ = C;
@@ -339,8 +468,16 @@ Relation Relation::composeWith(const Relation &Next) const {
 }
 
 Relation Relation::composeImpl(const Relation &Next) const {
-  Relation A = *this, B = Next;
-  alignPair(A, B);
+  Relation StoreA, StoreB;
+  const Relation *PA = this, *PB = &Next;
+  if (Sp.params() != Next.Sp.params()) {
+    StoreA = *this;
+    StoreB = Next;
+    alignPair(StoreA, StoreB);
+    PA = &StoreA;
+    PB = &StoreB;
+  }
+  const Relation &A = *PA, &B = *PB;
   assert(A.numOut() == B.numIn() && "compose: intermediate dims must match");
   unsigned NP = A.numParams(), NI = A.numIn(), NM = A.numOut(),
            NO = B.numOut();
@@ -448,8 +585,16 @@ Relation Relation::range() const {
 Relation Relation::restrictDomain(const Relation &S) const {
   assert(S.isSet() && S.numOut() == numIn() &&
          "restrictDomain expects a set over the input space");
-  Relation A = *this, B = S;
-  alignPair(A, B);
+  Relation StoreA, StoreB;
+  const Relation *PA = this, *PB = &S;
+  if (Sp.params() != S.Sp.params()) {
+    StoreA = *this;
+    StoreB = S;
+    alignPair(StoreA, StoreB);
+    PA = &StoreA;
+    PB = &StoreB;
+  }
+  const Relation &A = *PA, &B = *PB;
   unsigned NP = A.numParams(), NI = A.numIn(), NO = A.numOut();
   Relation R(A.Sp);
   for (const Conjunct &CA : A.Conjs)
@@ -473,8 +618,16 @@ Relation Relation::restrictDomain(const Relation &S) const {
 Relation Relation::restrictRange(const Relation &S) const {
   assert(S.isSet() && S.numOut() == numOut() &&
          "restrictRange expects a set over the output space");
-  Relation A = *this, B = S;
-  alignPair(A, B);
+  Relation StoreA, StoreB;
+  const Relation *PA = this, *PB = &S;
+  if (Sp.params() != S.Sp.params()) {
+    StoreA = *this;
+    StoreB = S;
+    alignPair(StoreA, StoreB);
+    PA = &StoreA;
+    PB = &StoreB;
+  }
+  const Relation &A = *PA, &B = *PB;
   unsigned NP = A.numParams(), NI = A.numIn(), NO = A.numOut();
   Relation R(A.Sp);
   for (const Conjunct &CA : A.Conjs)
@@ -567,7 +720,7 @@ bool Relation::isEmpty() const {
   pset::OpCache &C = pset::OpCache::global();
   if (!C.enabled())
     return isEmptyImpl();
-  uint64_t F = pset::fingerprint(*this);
+  uint64_t F = fingerprint();
   bool V;
   if (C.lookupBool(pset::Op::IsEmpty, F, V))
     return V;
@@ -593,7 +746,7 @@ bool Relation::isEmptyImpl() const {
 
 bool Relation::isSubsetOf(const Relation &O) const {
   pset::OpCache &C = pset::OpCache::global();
-  if (C.enabled() && pset::fingerprint(*this) == pset::fingerprint(O)) {
+  if (C.enabled() && fingerprint() == O.fingerprint()) {
     C.noteFastSubset();
     return true;
   }
@@ -602,10 +755,12 @@ bool Relation::isSubsetOf(const Relation &O) const {
 
 bool Relation::isEqualTo(const Relation &O) const {
   pset::OpCache &C = pset::OpCache::global();
-  if (C.enabled() && pset::fingerprint(*this) == pset::fingerprint(O)) {
+  if (C.enabled() && fingerprint() == O.fingerprint()) {
     C.noteFastSubset();
     return true;
   }
+  if (Sp.params() == O.Sp.params())
+    return subtract(O).isEmpty() && O.subtract(*this).isEmpty();
   // Align the parameter lists once; subtract() sees identical parameter
   // lists on both calls and skips its own re-alignment.
   Relation A = *this, B = O;
@@ -618,9 +773,31 @@ bool Relation::contains(const std::vector<int64_t> &Out,
                         const std::vector<int64_t> &In) const {
   assert(Out.size() == numOut() && ParamVals.size() == numParams() &&
          In.size() == numIn() && "point arity mismatch");
-  for (const Conjunct &C : Conjs)
+  for (const Conjunct &C : Conjs) {
+    if (C.numExists() == 0) {
+      // Existential-free conjuncts evaluate directly — no per-probe
+      // Conjunct materialization inside the comm loop.
+      bool Holds = true;
+      for (const Row &R : C.rows()) {
+        __int128 V = R.constant();
+        for (unsigned P = 0; P != numParams(); ++P)
+          V += static_cast<__int128>(R.Coef[C.paramCol(P)]) * ParamVals[P];
+        for (unsigned I = 0; I != numIn(); ++I)
+          V += static_cast<__int128>(R.Coef[C.inCol(I)]) * In[I];
+        for (unsigned O = 0; O != numOut(); ++O)
+          V += static_cast<__int128>(R.Coef[C.outCol(O)]) * Out[O];
+        if (R.IsEq ? V != 0 : V < 0) {
+          Holds = false;
+          break;
+        }
+      }
+      if (Holds)
+        return true;
+      continue;
+    }
     if (omega::isSatisfiable(C.bindAllDims(ParamVals, In, Out)))
       return true;
+  }
   return false;
 }
 
@@ -808,6 +985,7 @@ Relation Relation::bindDomainToParams(const std::vector<std::string> &Names) con
 Relation Relation::fixOutDim(unsigned Dim, int64_t V) const {
   assert(Dim < numOut());
   Relation R = *this;
+  R.invalidateFP();
   for (Conjunct &C : R.Conjs) {
     Row &Rw = C.addZeroRow(/*IsEq=*/true);
     Rw.Coef[C.outCol(Dim)] = 1;
@@ -825,6 +1003,7 @@ Relation Relation::equateOutDimToParam(unsigned Dim,
     R = R.alignParams(NewParams);
   }
   unsigned P = R.Sp.paramIndex(Name);
+  R.invalidateFP();
   for (Conjunct &C : R.Conjs) {
     Row &Rw = C.addZeroRow(/*IsEq=*/true);
     Rw.Coef[C.outCol(Dim)] = 1;

@@ -25,6 +25,7 @@
 #include "pset/Space.h"
 #include "support/Diag.h"
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,6 +37,33 @@ class Relation {
 public:
   Relation() = default;
   explicit Relation(Space S) : Sp(std::move(S)) {}
+
+  // The memoized fingerprint is an atomic, so copies and moves are spelled
+  // out; both carry the memo along (it stays valid for an identical
+  // conjunct list).
+  Relation(const Relation &O)
+      : Sp(O.Sp), Conjs(O.Conjs),
+        FPCache(O.FPCache.load(std::memory_order_relaxed)) {}
+  Relation(Relation &&O) noexcept
+      : Sp(std::move(O.Sp)), Conjs(std::move(O.Conjs)),
+        FPCache(O.FPCache.load(std::memory_order_relaxed)) {
+    O.FPCache.store(0, std::memory_order_relaxed);
+  }
+  Relation &operator=(const Relation &O) {
+    Sp = O.Sp;
+    Conjs = O.Conjs;
+    FPCache.store(O.FPCache.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+  Relation &operator=(Relation &&O) noexcept {
+    Sp = std::move(O.Sp);
+    Conjs = std::move(O.Conjs);
+    FPCache.store(O.FPCache.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    O.FPCache.store(0, std::memory_order_relaxed);
+    return *this;
+  }
 
   /// The empty relation over \p S (no conjuncts).
   static Relation empty(Space S) { return Relation(std::move(S)); }
@@ -50,7 +78,10 @@ public:
   bool isSet() const { return Sp.isSet(); }
 
   const std::vector<Conjunct> &conjuncts() const { return Conjs; }
-  std::vector<Conjunct> &conjuncts() { return Conjs; }
+  std::vector<Conjunct> &conjuncts() {
+    invalidateFP(); // the caller may mutate through the reference
+    return Conjs;
+  }
 
   /// Appends an unconstrained conjunct and returns a reference for adding
   /// constraints.
@@ -97,6 +128,15 @@ public:
   //===--------------------------------------------------------------------===
   // Queries
   //===--------------------------------------------------------------------===
+
+  /// Structural fingerprint of this relation, numerically identical to
+  /// pset::fingerprint(*this) but memoized on the object: the first call
+  /// interns every conjunct into the global hash-consing arena
+  /// (pset/Intern.h) and folds the interned entries' cached hashes;
+  /// subsequent calls are a single atomic load. Copies inherit the memo;
+  /// every mutation path invalidates it. Only valid while no outstanding
+  /// mutable conjuncts()/addConjunct() reference is being used to mutate.
+  uint64_t fingerprint() const;
 
   bool isEmpty() const;
   /// Subset test; short-circuits to true when the operands are
@@ -168,6 +208,13 @@ public:
 private:
   Space Sp;
   std::vector<Conjunct> Conjs;
+
+  /// Memoized fingerprint(); 0 means "not computed" (a genuinely zero hash
+  /// is remapped to a fixed nonzero constant, consistently for all equal
+  /// relations). Atomic so concurrent readers of a shared relation race
+  /// benignly (both store the same value).
+  mutable std::atomic<uint64_t> FPCache{0};
+  void invalidateFP() const { FPCache.store(0, std::memory_order_relaxed); }
 
   /// Aligns the parameter lists of A and B by name (union of both lists).
   static void alignPair(Relation &A, Relation &B);

@@ -1,0 +1,207 @@
+//===- support/SmallVec.h - Inline small-vector for coefficient rows -----===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CoefVec: a vector of int64_t with inline storage for the first
+/// kInlineCoefs elements. Constraint rows in the set engine are short (the
+/// Figure 7 apps rarely exceed a dozen columns including the constant), so
+/// storing them inline removes the per-row heap allocation that dominated
+/// the comm-set equation profile. The API is the subset of std::vector the
+/// engine uses; growth past the inline capacity spills to the heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_SUPPORT_SMALLVEC_H
+#define DHPF_SUPPORT_SMALLVEC_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+
+namespace dhpf {
+
+/// Rows of up to this many columns (including the constant column) live
+/// inline in the owning Row with no heap traffic.
+inline constexpr unsigned kInlineCoefs = 12;
+
+class CoefVec {
+public:
+  using value_type = int64_t;
+  using iterator = int64_t *;
+  using const_iterator = const int64_t *;
+
+  CoefVec() : Ptr(Inline) {}
+  CoefVec(size_t N, int64_t V) : Ptr(Inline) { assign(N, V); }
+  CoefVec(std::initializer_list<int64_t> IL) : Ptr(Inline) {
+    reserve(IL.size());
+    for (int64_t V : IL)
+      Ptr[Sz++] = V;
+  }
+
+  CoefVec(const CoefVec &O) : Ptr(Inline) {
+    reserve(O.Sz);
+    std::memcpy(Ptr, O.Ptr, O.Sz * sizeof(int64_t));
+    Sz = O.Sz;
+  }
+
+  CoefVec(CoefVec &&O) noexcept : Ptr(Inline) {
+    if (O.Ptr != O.Inline) {
+      // Steal the heap buffer.
+      Ptr = O.Ptr;
+      Cap = O.Cap;
+      Sz = O.Sz;
+      O.Ptr = O.Inline;
+      O.Cap = kInlineCoefs;
+      O.Sz = 0;
+      return;
+    }
+    std::memcpy(Inline, O.Inline, O.Sz * sizeof(int64_t));
+    Sz = O.Sz;
+    O.Sz = 0;
+  }
+
+  CoefVec &operator=(const CoefVec &O) {
+    if (this == &O)
+      return *this;
+    reserve(O.Sz);
+    std::memcpy(Ptr, O.Ptr, O.Sz * sizeof(int64_t));
+    Sz = O.Sz;
+    return *this;
+  }
+
+  CoefVec &operator=(CoefVec &&O) noexcept {
+    if (this == &O)
+      return *this;
+    if (O.Ptr != O.Inline) {
+      if (Ptr != Inline)
+        ::operator delete(Ptr);
+      Ptr = O.Ptr;
+      Cap = O.Cap;
+      Sz = O.Sz;
+      O.Ptr = O.Inline;
+      O.Cap = kInlineCoefs;
+      O.Sz = 0;
+      return *this;
+    }
+    reserve(O.Sz);
+    std::memcpy(Ptr, O.Inline, O.Sz * sizeof(int64_t));
+    Sz = O.Sz;
+    O.Sz = 0;
+    return *this;
+  }
+
+  ~CoefVec() {
+    if (Ptr != Inline)
+      ::operator delete(Ptr);
+  }
+
+  size_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+
+  int64_t &operator[](size_t I) {
+    assert(I < Sz);
+    return Ptr[I];
+  }
+  int64_t operator[](size_t I) const {
+    assert(I < Sz);
+    return Ptr[I];
+  }
+
+  int64_t &back() {
+    assert(Sz);
+    return Ptr[Sz - 1];
+  }
+  int64_t back() const {
+    assert(Sz);
+    return Ptr[Sz - 1];
+  }
+
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Sz; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Sz; }
+
+  void assign(size_t N, int64_t V) {
+    reserve(N);
+    std::fill(Ptr, Ptr + N, V);
+    Sz = static_cast<uint32_t>(N);
+  }
+
+  void resize(size_t N, int64_t V = 0) {
+    reserve(N);
+    if (N > Sz)
+      std::fill(Ptr + Sz, Ptr + N, V);
+    Sz = static_cast<uint32_t>(N);
+  }
+
+  void push_back(int64_t V) {
+    if (Sz == Cap)
+      grow(Sz + 1);
+    Ptr[Sz++] = V;
+  }
+
+  iterator insert(iterator Pos, int64_t V) {
+    size_t Idx = static_cast<size_t>(Pos - Ptr);
+    assert(Idx <= Sz);
+    if (Sz == Cap)
+      grow(Sz + 1); // invalidates Pos; recompute from Idx
+    std::memmove(Ptr + Idx + 1, Ptr + Idx, (Sz - Idx) * sizeof(int64_t));
+    Ptr[Idx] = V;
+    ++Sz;
+    return Ptr + Idx;
+  }
+
+  iterator erase(iterator Pos) {
+    size_t Idx = static_cast<size_t>(Pos - Ptr);
+    assert(Idx < Sz);
+    std::memmove(Ptr + Idx, Ptr + Idx + 1, (Sz - Idx - 1) * sizeof(int64_t));
+    --Sz;
+    return Ptr + Idx;
+  }
+
+  void reserve(size_t N) {
+    if (N > Cap)
+      grow(N);
+  }
+
+  friend bool operator==(const CoefVec &A, const CoefVec &B) {
+    return A.Sz == B.Sz &&
+           std::memcmp(A.Ptr, B.Ptr, A.Sz * sizeof(int64_t)) == 0;
+  }
+  friend bool operator!=(const CoefVec &A, const CoefVec &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const CoefVec &A, const CoefVec &B) {
+    return std::lexicographical_compare(A.begin(), A.end(), B.begin(),
+                                        B.end());
+  }
+
+private:
+  void grow(size_t MinCap) {
+    size_t NewCap = Cap * 2;
+    if (NewCap < MinCap)
+      NewCap = MinCap;
+    int64_t *NewPtr =
+        static_cast<int64_t *>(::operator new(NewCap * sizeof(int64_t)));
+    std::memcpy(NewPtr, Ptr, Sz * sizeof(int64_t));
+    if (Ptr != Inline)
+      ::operator delete(Ptr);
+    Ptr = NewPtr;
+    Cap = static_cast<uint32_t>(NewCap);
+  }
+
+  int64_t *Ptr;
+  uint32_t Sz = 0;
+  uint32_t Cap = kInlineCoefs;
+  int64_t Inline[kInlineCoefs];
+};
+
+} // namespace dhpf
+
+#endif // DHPF_SUPPORT_SMALLVEC_H

@@ -1,0 +1,193 @@
+//===- tests/pset_intern_test.cpp - Hash-consed conjunct arena tests -----===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// The intern table is purely an accelerator: it must collapse exactly the
+// structures the structural fingerprint collapses, hand back one stable
+// pointer per canonical form (including under concurrent interning from
+// the analysis pool), and keep Relation::fingerprint() — the memoized,
+// intern-backed path — numerically identical to the original structural
+// walk pset::fingerprint(Relation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pset/Fingerprint.h"
+#include "pset/Intern.h"
+#include "pset/Relation.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+using namespace dhpf;
+
+namespace {
+
+/// First conjunct of a parsed set, by value.
+Conjunct firstConjunct(const std::string &Text) {
+  Relation R = parseRelation(Text);
+  const std::vector<Conjunct> &Cs = std::as_const(R).conjuncts();
+  EXPECT_FALSE(Cs.empty()) << Text;
+  return Cs.front();
+}
+
+const pset::InternedConjunct *internOf(const std::string &Text) {
+  Conjunct C = firstConjunct(Text);
+  return pset::InternTable::global().intern(C);
+}
+
+} // namespace
+
+// Re-parsing identical text must resolve to the identical arena entry.
+TEST(PsetIntern, SameTextSamePointer) {
+  const pset::InternedConjunct *A = internOf("{ [i] : 1 <= i <= 5 }");
+  const pset::InternedConjunct *B = internOf("{ [i] : 1 <= i <= 5 }");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A->FP, B->FP);
+  EXPECT_EQ(A->Id, B->Id);
+}
+
+// Tuple-variable and existential names live in the Space, not the
+// conjunct, so generated sets that differ only in the names they picked
+// (parser-generated existentials included) intern to the same entry.
+TEST(PsetIntern, NamesDoNotSplitEntries) {
+  EXPECT_EQ(internOf("{ [i] : 1 <= i <= 5 }"),
+            internOf("{ [x] : 1 <= x <= 5 }"));
+  EXPECT_EQ(internOf("{ [i] : 0 <= i <= 10 && exists(a : i = 2a) }"),
+            internOf("{ [j] : 0 <= j <= 10 && exists(q : j = 2q) }"));
+}
+
+// Row order, common row factors, and equality orientation are canonical-
+// form details: all four spellings below describe one structure.
+TEST(PsetIntern, CanonicalFormCollapsesSpellings) {
+  const pset::InternedConjunct *A =
+      internOf("{ [i,j] : 1 <= i <= 5 && i = j }");
+  EXPECT_EQ(A, internOf("{ [i,j] : i = j && 1 <= i <= 5 }"));
+  EXPECT_EQ(A, internOf("{ [i,j] : j = i && 1 <= i <= 5 }"));
+  EXPECT_EQ(A, internOf("{ [i,j] : 2 <= 2i <= 10 && 3i = 3j }"));
+}
+
+TEST(PsetIntern, DistinctStructuresDistinctEntries) {
+  const pset::InternedConjunct *A = internOf("{ [i] : 1 <= i <= 5 }");
+  const pset::InternedConjunct *B = internOf("{ [i] : 1 <= i <= 6 }");
+  const pset::InternedConjunct *C = internOf("{ [i] : exists(a : i = 2a) }");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(B, C);
+  EXPECT_NE(A->FP, B->FP);
+}
+
+// The canonical form must agree with the structural fingerprint: hashing
+// is idempotent over canonicalization, and the stored FP is exactly the
+// old structural hash of the original conjunct.
+TEST(PsetIntern, FingerprintAgreesWithStructuralPath) {
+  const char *Texts[] = {
+      "{ [i] : 1 <= i <= 5 }",
+      "{ [i,j] : 0 <= 2i < j && j <= 6 }",
+      "{ [i] : 0 <= i <= 10 && exists(a : i = 2a) }",
+      "{ [i,j] : 4 <= 2i + 2j <= 8 && i >= 0 }",
+  };
+  for (const char *T : Texts) {
+    Conjunct C = firstConjunct(T);
+    Conjunct Canon = pset::canonicalConjunct(C);
+    EXPECT_EQ(pset::fingerprint(Canon), pset::fingerprint(C)) << T;
+    const pset::InternedConjunct *E = pset::InternTable::global().intern(C);
+    EXPECT_EQ(E->FP, pset::fingerprint(C)) << T;
+    // Canonicalization is a fixpoint: interning the canonical form lands
+    // on the same entry.
+    EXPECT_EQ(E, pset::InternTable::global().intern(Canon)) << T;
+  }
+}
+
+// Relation::fingerprint() (memoized, intern-backed) must equal the free
+// structural walk — for parsed relations, for operation results, and
+// after mutation through the non-const accessor (memo invalidation).
+TEST(PsetIntern, RelationFingerprintMatchesFreeFunction) {
+  Relation A = parseRelation("{ [i] : 1 <= i <= 9 or 20 <= i <= 30 }");
+  Relation B = parseRelation("{ [i] : exists(a : i = 2a) }");
+  EXPECT_EQ(A.fingerprint(), pset::fingerprint(A));
+  EXPECT_EQ(B.fingerprint(), pset::fingerprint(B));
+
+  Relation I = A.intersect(B);
+  Relation S = A.subtract(B).simplify();
+  Relation U = A.unionWith(B);
+  EXPECT_EQ(I.fingerprint(), pset::fingerprint(I));
+  EXPECT_EQ(S.fingerprint(), pset::fingerprint(S));
+  EXPECT_EQ(U.fingerprint(), pset::fingerprint(U));
+
+  // Copies carry the memo; the copy still answers correctly.
+  Relation Copy = I;
+  EXPECT_EQ(Copy.fingerprint(), pset::fingerprint(I));
+
+  // Mutation through the non-const accessor invalidates the memo.
+  uint64_t Before = A.fingerprint();
+  A.conjuncts().pop_back();
+  EXPECT_EQ(A.fingerprint(), pset::fingerprint(A));
+  EXPECT_NE(A.fingerprint(), Before);
+}
+
+// Arena pointers must be stable and unique under concurrent interning:
+// many threads hammering the same structure family must all observe one
+// pointer per structure, and those pointers must survive later growth.
+TEST(PsetIntern, ConcurrentInternIsStable) {
+  std::vector<Conjunct> Family;
+  for (int K = 0; K != 24; ++K)
+    Family.push_back(firstConjunct("{ [i,j] : " + std::to_string(K) +
+                                   " <= i <= " + std::to_string(K + 7) +
+                                   " && j = 2i + " + std::to_string(K % 5) +
+                                   " }"));
+
+  constexpr unsigned NumThreads = 8;
+  std::vector<std::vector<const pset::InternedConjunct *>> Seen(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      std::vector<const pset::InternedConjunct *> Ptrs(Family.size());
+      for (int Rep = 0; Rep != 50; ++Rep)
+        for (size_t K = 0; K != Family.size(); ++K) {
+          // Vary the visit order per thread so shards interleave.
+          size_t Idx = (K * (T + 1) + Rep) % Family.size();
+          const pset::InternedConjunct *P =
+              pset::InternTable::global().intern(Family[Idx]);
+          if (Ptrs[Idx] == nullptr)
+            Ptrs[Idx] = P;
+          else
+            EXPECT_EQ(Ptrs[Idx], P);
+        }
+      Seen[T] = std::move(Ptrs);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (unsigned T = 1; T != NumThreads; ++T)
+    EXPECT_EQ(Seen[0], Seen[T]);
+  // Pointers stay valid after further arena growth.
+  for (int K = 1000; K != 1100; ++K)
+    pset::InternTable::global().intern(
+        firstConjunct("{ [i] : i = " + std::to_string(K) + " }"));
+  for (size_t K = 0; K != Family.size(); ++K) {
+    EXPECT_EQ(Seen[0][K], pset::InternTable::global().intern(Family[K]));
+    EXPECT_EQ(Seen[0][K]->FP, pset::fingerprint(Family[K]));
+  }
+}
+
+// The counters that feed obs metrics and the bench JSON: lookups grow by
+// one per intern() call, hits only when the entry already existed, and
+// the entry count is the number of distinct canonical forms.
+TEST(PsetIntern, StatsCountLookupsHitsEntries) {
+  pset::InternStats S0 = pset::InternTable::global().stats();
+  Conjunct Fresh = firstConjunct("{ [i,j,k] : i + 2j + 3k = 777 && i >= 4 }");
+  pset::InternTable::global().intern(Fresh);
+  pset::InternTable::global().intern(Fresh);
+  pset::InternTable::global().intern(Fresh);
+  pset::InternStats S1 = pset::InternTable::global().stats();
+  pset::InternStats D = S1 - S0;
+  EXPECT_EQ(D.Lookups, 3u);
+  EXPECT_EQ(D.Hits, 2u);
+  EXPECT_EQ(S1.Entries, S0.Entries + 1);
+  EXPECT_GT(S1.Rows, S0.Rows);
+  EXPECT_EQ(S1.Entries, pset::InternTable::global().size());
+}
