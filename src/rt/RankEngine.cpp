@@ -7,9 +7,14 @@
 #include "rt/RankEngine.h"
 
 #include "cg/Ast.h"
+#include "spmd/ExecPlan.h"
+#include "spmd/KernelABI.h"
+#include "spmd/KernelCache.h"
+#include "spmd/NativeGen.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <set>
@@ -51,6 +56,17 @@ double doubleOf(uint64_t V) {
   return D;
 }
 
+/// Numbers Compute nodes in preorder — the exact order buildExecPlan
+/// assigns PlanNode::NativeComputeId, so the i-th Compute SpmdNode here
+/// dispatches into compute kernel i.
+void numberComputes(const SpmdNode &N, int32_t &Next,
+                    std::map<const SpmdNode *, int32_t> &Ids) {
+  if (N.K == SpmdNode::Kind::Compute)
+    Ids[&N] = Next++;
+  for (const auto &C : N.Children)
+    numberComputes(*C, Next, Ids);
+}
+
 } // namespace
 
 RankEngine::RankEngine(const SpmdProgram &ProgIn, RankConfig ConfigIn,
@@ -71,6 +87,138 @@ RankEngine::RankEngine(const SpmdProgram &ProgIn, RankConfig ConfigIn,
   Env = initialEnv(Prog, Layout, Config.Rank);
   EventInPlace =
       resolveEventInPlace(Prog, Layout, Result.InPlaceRuntimeUpgrades);
+  if (Interpreter::resolveEngine(Config.Run.Engine) == EngineKind::Native)
+    setupNative();
+}
+
+RankEngine::~RankEngine() = default;
+
+/// Native compute-kernel state for one rank: the loaded kernel table plus
+/// one DhpfCtx. Kernels call back through the static trampolines; Ctx
+/// keeps the C context as its first member so a DhpfCtx* converts back to
+/// the full record.
+struct RankEngine::NativeState {
+  const native::Kernel *Kern = nullptr;
+  const DhpfKernelTable *T = nullptr;
+
+  std::vector<std::string> ArrayNames; // plan array id -> name
+  std::vector<ArrayStore *> Stores;    // plan array id -> store
+  std::vector<double *> Data;
+  std::vector<const int32_t *> Owner;
+  std::vector<int64_t> Size;
+  std::vector<double> LeafCostSec;
+  std::vector<double> ReadBuf;   // kernel-facing, MaxReads wide
+  std::vector<double> StmtReads; // StmtFn-facing copy
+  /// A real rank has no simulated machine; the kernel's clock writes land
+  /// here and are discarded.
+  double DummyClock = 0;
+
+  struct Ctx {
+    DhpfCtx C = {}; // must stay first (standard-layout cast target)
+    RankEngine *RE = nullptr;
+  };
+  Ctx X;
+
+  static Ctx *of(DhpfCtx *C) { return reinterpret_cast<Ctx *>(C); }
+
+  static double readSlow(DhpfCtx *C, int32_t A, int64_t F) {
+    RankEngine *RE = of(C)->RE;
+    NativeState &NS = *RE->Native;
+    return RE->readElem(*NS.Stores[A], NS.ArrayNames[A], F);
+  }
+  static void writeSlow(DhpfCtx *C, int32_t A, int64_t F, double V) {
+    RankEngine *RE = of(C)->RE;
+    NativeState &NS = *RE->Native;
+    RE->writeElem(*NS.Stores[A], NS.ArrayNames[A], F, V);
+  }
+  static double stmt(DhpfCtx *C, int32_t Leaf, int32_t N) {
+    return of(C)->RE->nativeStmt(Leaf, N, C->Reads);
+  }
+  static void progress(DhpfCtx *C) {
+    // The Figure 4 overlap window, exactly as the tree walk pumps it.
+    RankEngine *RE = of(C)->RE;
+    ++RE->ProgressCalls;
+    RE->T.progress();
+  }
+  static void growPairs(DhpfCtx *) {} // event kernels never run on a rank
+};
+
+double RankEngine::nativeStmt(int32_t Leaf, int32_t N, const double *Reads) {
+  NativeState &NS = *Native;
+  NS.StmtReads.assign(Reads, Reads + N);
+  const CompiledStmt &S = Prog.Stmts[Leaf];
+  auto SemIt = Semantics.find(S.SemanticsId);
+  assert(SemIt != Semantics.end() && "statement without semantics");
+  return SemIt->second(NS.StmtReads, Env, Accums);
+}
+
+void RankEngine::setupNative() {
+  PlanBuildInputs In;
+  In.Arrays = &Arrays;
+  In.AllBindings = &Layout.AllBindings;
+  In.ProcShape = &Layout.ProcShape;
+  In.EventInPlace = &EventInPlace;
+  PlanBuild B = buildExecPlan(Prog, In);
+
+  native::PlanSource Src;
+  {
+    obs::TraceSpan Span(Config.Trace, "native:emit", "spmd.native");
+    Src = native::emitPlanSource(B.Plan);
+  }
+  std::string Err;
+  const native::Kernel *K = native::KernelCache::global().get(Src, &Err);
+  if (!K) {
+    std::fprintf(stderr,
+                 "dhpf: rank %u: native engine unavailable, falling back "
+                 "to tree execution: %s\n",
+                 Config.Rank, Err.c_str());
+    obs::MetricsRegistry::global().counter("spmd.native.fallbacks")->inc();
+    return;
+  }
+
+  int32_t Next = 0;
+  numberComputes(*Prog.Root, Next, ComputeIds);
+
+  auto NS = std::make_unique<NativeState>();
+  NS->Kern = K;
+  NS->T = K->Table;
+  NS->ArrayNames = B.Plan.ArrayNames;
+  NS->Stores = std::move(B.Stores);
+  for (ArrayStore *A : NS->Stores) {
+    NS->Data.push_back(A->data());
+    NS->Owner.push_back(A->Owner.empty() ? nullptr : A->Owner.data());
+    NS->Size.push_back(static_cast<int64_t>(A->size()));
+  }
+  const double SPW = Config.Run.Machine.SecPerWork;
+  for (const StmtPlan &SP : B.Plan.Stmts)
+    NS->LeafCostSec.push_back(SP.Cost * SPW);
+  NS->ReadBuf.assign(Src.MaxReads ? Src.MaxReads : 1, 0.0);
+
+  NativeState::Ctx &X = NS->X;
+  X.RE = this;
+  DhpfCtx &C = X.C;
+  C.Host = &X;
+  C.Me = static_cast<int32_t>(Config.Rank);
+  C.NumArrays = static_cast<int32_t>(NS->Stores.size());
+  C.Data = NS->Data.data();
+  C.Owner = NS->Owner.data();
+  C.Size = NS->Size.data();
+  C.Reads = NS->ReadBuf.data();
+  C.LeafCostSec = NS->LeafCostSec.data();
+  C.Clock = &NS->DummyClock;
+  C.Stmts = &Result.StmtInstances;
+  C.ProgressCtr = 0; // seeded from StmtsSinceProgress per dispatch
+  C.ProgressEvery = Config.ProgressEveryStmts;
+  C.ReadSlow = &NativeState::readSlow;
+  C.WriteSlow = &NativeState::writeSlow;
+  C.Stmt = &NativeState::stmt;
+  C.Progress = &NativeState::progress;
+  C.PairQ = nullptr;
+  C.PairF = nullptr;
+  C.NumPairs = 0;
+  C.CapPairs = 0;
+  C.GrowPairs = &NativeState::growPairs;
+  Native = std::move(NS);
 }
 
 void RankEngine::setSemantics(int Id, StmtFn Fn) {
@@ -141,6 +289,19 @@ void RankEngine::writeElem(ArrayStore &A, const std::string &Array,
 
 void RankEngine::execCompute(const SpmdNode &N) {
   obs::TraceSpan Span(Config.Trace, "compute:" + N.NestName, "rt.exec");
+  if (Native && Native->T) {
+    auto It = ComputeIds.find(&N);
+    assert(It != ComputeIds.end() && "compute node missing a kernel id");
+    const DhpfComputeFn Fn = Native->T->Compute[It->second];
+    DhpfCtx &C = Native->X.C;
+    // Carry the progress-pump phase across nodes: the kernel continues the
+    // statement count exactly where the previous node left it, so pump
+    // timing matches the tree walk instance for instance.
+    C.ProgressCtr = StmtsSinceProgress;
+    Fn(&C, Env.data());
+    StmtsSinceProgress = C.ProgressCtr;
+    return;
+  }
   std::vector<int64_t> WIdx;
   std::vector<double> Reads;
   cg::execute(*N.Loops, Env, [&](int Leaf, const std::vector<int64_t> &E) {

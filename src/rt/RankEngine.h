@@ -39,6 +39,7 @@
 #include "spmd/SpmdProgram.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,7 @@ public:
   /// mismatches throw net::TransportError before anything runs.
   RankEngine(const spmd::SpmdProgram &Prog, RankConfig Config,
              net::Transport &T);
+  ~RankEngine();
 
   void setSemantics(int Id, spmd::StmtFn Fn) override;
   void initArray(const std::string &Name,
@@ -102,6 +104,23 @@ private:
   uint64_t ProgressCalls = 0; ///< flushed to rt.comm.progress_calls
 
   spmd::RunResult Result;
+
+  /// Native-engine state: compiled compute kernels dispatched from
+  /// execCompute. Communication stays on the tree paths — message values
+  /// are captured at enumeration time from rank-local stores, so only the
+  /// statement loops are hot enough to compile. The plan is built from the
+  /// same inputs the in-process engines use, so its kernel source (and the
+  /// fingerprint-keyed cache entry) is shared with the driver and with
+  /// every other rank of the launch. Null when the engine is tree or the
+  /// native setup fell back.
+  struct NativeState;
+  std::unique_ptr<NativeState> Native;
+  /// Compute SpmdNode -> kernel index, in lowering's preorder assignment
+  /// order (see PlanNode::NativeComputeId).
+  std::map<const spmd::SpmdNode *, int32_t> ComputeIds;
+  void setupNative();
+  /// Statement-semantics trampoline target for native kernels.
+  double nativeStmt(int32_t Leaf, int32_t N, const double *Reads);
 
   void execNode(const spmd::SpmdNode &N);
   void execCompute(const spmd::SpmdNode &N);

@@ -57,6 +57,11 @@ public:
   void addCompute(unsigned P, double WorkUnits) {
     Clocks[P] += WorkUnits * Params.SecPerWork;
   }
+  /// Direct clock storage for \p P. The native SPMD engine hands this to
+  /// its compiled kernels, which replicate addCompute's exact arithmetic
+  /// (one precomputed WorkUnits * SecPerWork product added per statement)
+  /// so simulated times stay bit-identical across engines.
+  double &clockRef(unsigned P) { return Clocks[P]; }
   void addSeconds(unsigned P, double S) { Clocks[P] += S; }
 
   /// Posts a message of \p Bytes from \p Src to \p Dst under \p Tag.

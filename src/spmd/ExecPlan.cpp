@@ -7,9 +7,14 @@
 #include "spmd/ExecPlan.h"
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "spmd/KernelABI.h"
+#include "spmd/KernelCache.h"
+#include "spmd/NativeGen.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <set>
 
@@ -80,12 +85,41 @@ bool atomHolds(int64_t V, cg::GuardAtom::Kind K, int64_t Mod) {
 
 } // namespace
 
-void PlanExecutor::noteDepth(const bc::Prog &P) {
+namespace {
+
+/// Lowers one SpmdProgram into a PlanBuild. Stateless beyond the output;
+/// extracted from PlanExecutor so rt::RankEngine builds the identical plan
+/// (and therefore the identical native kernel source) from its own
+/// bindings.
+class PlanLowering {
+public:
+  PlanLowering(const SpmdProgram &Prog, const PlanBuildInputs &In,
+               PlanBuild &Out)
+      : Prog(Prog), In(In), B(Out), Plan(Out.Plan) {}
+
+  void run();
+
+private:
+  const SpmdProgram &Prog;
+  const PlanBuildInputs &In;
+  PlanBuild &B;
+  ExecPlan &Plan;
+  int32_t NextComputeId = 0, NextReduceId = 0;
+
+  void noteDepth(const bc::Prog &P);
+  bc::Prog flattenExpr(const std::vector<cg::Expr> &Subs, const ArrayStore &A,
+                       const bc::SlotConsts &Fixed);
+  void lowerInto(PlanAst &Out, const cg::AstNode &N,
+                 const bc::SlotConsts &Fixed);
+  PlanNode lowerNode(const SpmdNode &N, const bc::SlotConsts &Fixed);
+};
+
+void PlanLowering::noteDepth(const bc::Prog &P) {
   if (P.depth() > Plan.StackDepth)
     Plan.StackDepth = P.depth();
 }
 
-bc::Prog PlanExecutor::flattenExpr(const std::vector<cg::Expr> &Subs,
+bc::Prog PlanLowering::flattenExpr(const std::vector<cg::Expr> &Subs,
                                    const ArrayStore &A,
                                    const bc::SlotConsts &Fixed) {
   assert(Subs.size() == A.rank() && "subscript arity mismatch");
@@ -102,7 +136,7 @@ bc::Prog PlanExecutor::flattenExpr(const std::vector<cg::Expr> &Subs,
   return P;
 }
 
-void PlanExecutor::lowerInto(PlanAst &Out, const cg::AstNode &N,
+void PlanLowering::lowerInto(PlanAst &Out, const cg::AstNode &N,
                              const bc::SlotConsts &Fixed) {
   switch (N.K) {
   case cg::AstNode::Kind::Block:
@@ -211,7 +245,7 @@ void PlanExecutor::lowerInto(PlanAst &Out, const cg::AstNode &N,
   }
 }
 
-PlanNode PlanExecutor::lowerNode(const SpmdNode &N,
+PlanNode PlanLowering::lowerNode(const SpmdNode &N,
                                  const bc::SlotConsts &Fixed) {
   PlanNode P;
   P.K = N.K;
@@ -226,6 +260,7 @@ PlanNode PlanExecutor::lowerNode(const SpmdNode &N,
     noteDepth(P.SeqHi);
     break;
   case SpmdNode::Kind::Compute: {
+    P.NativeComputeId = NextComputeId++;
     if (!N.Loops)
       break;
     lowerInto(P.Loops, *N.Loops, Fixed);
@@ -236,7 +271,8 @@ PlanNode PlanExecutor::lowerNode(const SpmdNode &N,
     std::vector<int> Leaves;
     collectLeaves(*N.Loops, Leaves);
     for (int L : Leaves) {
-      const ArrayStore &A = *Stores[ArrayIds.at(Prog.Stmts[L].WriteArray)];
+      const ArrayStore &A =
+          *B.Stores[B.ArrayIds.at(Prog.Stmts[L].WriteArray)];
       if (A.Owner.empty() ||
           std::any_of(A.Owner.begin(), A.Owner.end(),
                       [](int32_t O) { return O < 0; }))
@@ -249,6 +285,7 @@ PlanNode PlanExecutor::lowerNode(const SpmdNode &N,
     P.EventId = N.EventId;
     break;
   case SpmdNode::Kind::Reduce:
+    P.NativeReduceId = NextReduceId++;
     P.RedOp = N.RedOp;
     P.RedName = N.RedName;
     P.RedBytes = N.RedBytes;
@@ -260,12 +297,12 @@ PlanNode PlanExecutor::lowerNode(const SpmdNode &N,
   return P;
 }
 
-void PlanExecutor::build() {
+void PlanLowering::run() {
   // Dense array ids in map order (deterministic).
-  for (auto &[Name, Store] : I.Arrays) {
-    ArrayIds[Name] = static_cast<uint32_t>(Plan.ArrayNames.size());
+  for (auto &[Name, Store] : *In.Arrays) {
+    B.ArrayIds[Name] = static_cast<uint32_t>(Plan.ArrayNames.size());
     Plan.ArrayNames.push_back(Name);
-    Stores.push_back(&Store);
+    B.Stores.push_back(&Store);
   }
 
   // Slots whose values are fixed for the whole run: named in AllBindings
@@ -288,19 +325,19 @@ void PlanExecutor::build() {
   for (unsigned S = 0; S != Prog.Vars.size(); ++S) {
     if (Rebound.count(S))
       continue;
-    auto It = I.AllBindings.find(Prog.Vars.name(S));
-    if (It != I.AllBindings.end())
+    auto It = In.AllBindings->find(Prog.Vars.name(S));
+    if (It != In.AllBindings->end())
       Fixed[S] = It->second;
   }
 
   for (const CompiledStmt &S : Prog.Stmts) {
     StmtPlan SP;
-    SP.WriteArray = ArrayIds.at(S.WriteArray);
-    SP.WriteFlat = flattenExpr(S.WriteSubs, *Stores[SP.WriteArray], Fixed);
+    SP.WriteArray = B.ArrayIds.at(S.WriteArray);
+    SP.WriteFlat = flattenExpr(S.WriteSubs, *B.Stores[SP.WriteArray], Fixed);
     for (const CompiledStmt::Read &Rd : S.Reads) {
       StmtPlan::Read R;
-      R.Array = ArrayIds.at(Rd.Array);
-      R.Flat = flattenExpr(Rd.Subs, *Stores[R.Array], Fixed);
+      R.Array = B.ArrayIds.at(Rd.Array);
+      R.Flat = flattenExpr(Rd.Subs, *B.Stores[R.Array], Fixed);
       SP.Reads.push_back(std::move(R));
     }
     SP.Cost = S.Cost;
@@ -312,11 +349,11 @@ void PlanExecutor::build() {
     const CommEvent &Ev = Prog.Events[EI];
     EventPlan EP;
     EP.Id = Ev.Id;
-    EP.Array = ArrayIds.at(Ev.Array);
+    EP.Array = B.ArrayIds.at(Ev.Array);
     EP.PartnerSlots = Ev.PartnerSlots;
     EP.ElemSlots = Ev.ElemSlots;
-    EP.ElemBytes = Stores[EP.Array]->elemBytes();
-    EP.InPlace = I.EventInPlace[EI] != 0;
+    EP.ElemBytes = B.Stores[EP.Array]->elemBytes();
+    EP.InPlace = (*In.EventInPlace)[EI] != 0;
     if (Ev.SendLoops)
       lowerInto(EP.Send, *Ev.SendLoops, Fixed);
     if (Ev.RecvLoops)
@@ -324,7 +361,7 @@ void PlanExecutor::build() {
     std::vector<cg::Expr> ElemSubs;
     for (unsigned S : Ev.ElemSlots)
       ElemSubs.push_back(cg::Expr::var(S, Prog.Vars.name(S)));
-    EP.ElemFlat = flattenExpr(ElemSubs, *Stores[EP.Array], Fixed);
+    EP.ElemFlat = flattenExpr(ElemSubs, *B.Stores[EP.Array], Fixed);
 
     // Cacheable iff no free slot of either nest is a TimeLoop variable:
     // then the enumerated lists are identical every execution.
@@ -353,10 +390,11 @@ void PlanExecutor::build() {
     DP.Virtualized = Info.Virtualized;
     DP.TmplLo = Info.TmplLo;
     DP.CyclicK = Info.CyclicK;
-    DP.Extent = I.ProcShape[D];
+    DP.Extent = (*In.ProcShape)[D];
     if (Info.Virtualized && Info.Kind == DistSpec::Kind::Block)
-      DP.Block = Info.BlockParam.empty() ? Info.BlockFixed
-                                         : I.AllBindings.at(Info.BlockParam);
+      DP.Block = Info.BlockParam.empty()
+                     ? Info.BlockFixed
+                     : In.AllBindings->at(Info.BlockParam);
     Plan.Dims.push_back(DP);
   }
 
@@ -364,10 +402,25 @@ void PlanExecutor::build() {
     Plan.Root = lowerNode(*Prog.Root, Fixed);
 }
 
+} // namespace
+
+PlanBuild spmd::buildExecPlan(const SpmdProgram &Prog,
+                              const PlanBuildInputs &In) {
+  PlanBuild B;
+  PlanLowering(Prog, In, B).run();
+  return B;
+}
+
 PlanExecutor::PlanExecutor(const SpmdProgram &ProgIn, Interpreter &IIn,
-                           unsigned Threads)
+                           unsigned Threads, EngineKind Engine)
     : Prog(ProgIn), I(IIn), NP(IIn.NumProcs) {
-  build();
+  {
+    PlanBuild B = buildExecPlan(
+        Prog, {&I.Arrays, &I.AllBindings, &I.ProcShape, &I.EventInPlace});
+    Plan = std::move(B.Plan);
+    ArrayIds = std::move(B.ArrayIds);
+    Stores = std::move(B.Stores);
+  }
   PerProc.resize(NP);
   for (Scratch &S : PerProc) {
     S.Stack.assign(Plan.StackDepth + 1, 0);
@@ -381,9 +434,139 @@ PlanExecutor::PlanExecutor(const SpmdProgram &ProgIn, Interpreter &IIn,
                      Plan.ArrayNames.size()));
   if (Threads > 1 && NP > 1)
     Pool = std::make_unique<ThreadPool>(Threads - 1);
+  if (Engine == EngineKind::Native)
+    setupNative();
 }
 
 PlanExecutor::~PlanExecutor() = default;
+
+//===----------------------------------------------------------------------===//
+// Native engine state
+//===----------------------------------------------------------------------===//
+
+/// The per-executor native state: the loaded kernel table, stable array
+/// tables, and one DhpfCtx per processor rank. Kernels call back into the
+/// executor through the static trampolines below; Ctx keeps the C context
+/// as its first member so a DhpfCtx* converts back to the full record.
+struct PlanExecutor::NativeState {
+  const native::Kernel *Kern = nullptr;
+  const DhpfKernelTable *T = nullptr;
+
+  // Shared per-array tables (pointers into the Interpreter's stores; array
+  // shapes are fixed before the executor is constructed).
+  std::vector<double *> Data;
+  std::vector<const int32_t *> Owner;
+  std::vector<int64_t> Size;
+  /// Per-leaf Cost * SecPerWork: the kernel adds this one precomputed
+  /// product per statement instance, exactly sim::Machine::addCompute's
+  /// arithmetic, so simulated clocks stay bit-identical.
+  std::vector<double> LeafCostSec;
+
+  struct Ctx {
+    DhpfCtx C = {}; // must stay first (standard-layout cast target)
+    PlanExecutor *PE = nullptr;
+    unsigned P = 0;
+  };
+  std::vector<Ctx> Procs;
+  std::vector<std::vector<double>> ReadBufs; // per proc, MaxReads wide
+
+  static Ctx *of(DhpfCtx *C) { return reinterpret_cast<Ctx *>(C); }
+
+  static double readSlow(DhpfCtx *C, int32_t A, int64_t F) {
+    Ctx *X = of(C);
+    return X->PE->readFast(X->P, static_cast<uint32_t>(A), F,
+                           X->PE->PerProc[X->P]);
+  }
+  static void writeSlow(DhpfCtx *C, int32_t A, int64_t F, double V) {
+    Ctx *X = of(C);
+    X->PE->writeFast(X->P, static_cast<uint32_t>(A), F, V);
+  }
+  static double stmt(DhpfCtx *C, int32_t Leaf, int32_t N) {
+    Ctx *X = of(C);
+    return X->PE->nativeStmt(X->P, Leaf, N, C->Reads);
+  }
+  static void progress(DhpfCtx *) {} // in-process: nothing to pump
+  static void growPairs(DhpfCtx *C) {
+    Ctx *X = of(C);
+    Scratch &S = X->PE->PerProc[X->P];
+    size_t Cap = S.RawQ.empty() ? 256 : S.RawQ.size() * 2;
+    S.RawQ.resize(Cap);
+    S.RawF.resize(Cap);
+    C->PairQ = S.RawQ.data();
+    C->PairF = S.RawF.data();
+    C->CapPairs = Cap;
+  }
+};
+
+double PlanExecutor::nativeStmt(unsigned P, int32_t Leaf, int32_t N,
+                                const double *Reads) {
+  Scratch &S = PerProc[P];
+  S.Reads.assign(Reads, Reads + N);
+  const StmtFn *Fn = Sems[Leaf];
+  assert(Fn && "statement without semantics");
+  return (*Fn)(S.Reads, I.Env[P], I.Accums[P]);
+}
+
+void PlanExecutor::setupNative() {
+  native::PlanSource Src;
+  {
+    obs::TraceSpan Span(&obs::TraceBuffer::global(), "native:emit",
+                        "spmd.native");
+    Src = native::emitPlanSource(Plan);
+  }
+  std::string Err;
+  const native::Kernel *K = native::KernelCache::global().get(Src, &Err);
+  if (!K) {
+    std::fprintf(stderr,
+                 "dhpf: native engine unavailable, falling back to "
+                 "bytecode: %s\n",
+                 Err.c_str());
+    obs::MetricsRegistry::global().counter("spmd.native.fallbacks")->inc();
+    return;
+  }
+  auto NS = std::make_unique<NativeState>();
+  NS->Kern = K;
+  NS->T = K->Table;
+  for (ArrayStore *A : Stores) {
+    NS->Data.push_back(A->data());
+    NS->Owner.push_back(A->Owner.empty() ? nullptr : A->Owner.data());
+    NS->Size.push_back(static_cast<int64_t>(A->size()));
+  }
+  const double SPW = I.Config.Machine.SecPerWork;
+  for (const StmtPlan &SP : Plan.Stmts)
+    NS->LeafCostSec.push_back(SP.Cost * SPW);
+  NS->ReadBufs.assign(
+      NP, std::vector<double>(Src.MaxReads ? Src.MaxReads : 1, 0.0));
+  NS->Procs.resize(NP);
+  for (unsigned P = 0; P != NP; ++P) {
+    NativeState::Ctx &X = NS->Procs[P];
+    X.PE = this;
+    X.P = P;
+    DhpfCtx &C = X.C;
+    C.Host = &X;
+    C.Me = static_cast<int32_t>(P);
+    C.NumArrays = static_cast<int32_t>(Stores.size());
+    C.Data = NS->Data.data();
+    C.Owner = NS->Owner.data();
+    C.Size = NS->Size.data();
+    C.Reads = NS->ReadBufs[P].data();
+    C.LeafCostSec = NS->LeafCostSec.data();
+    C.Clock = &I.Mach.clockRef(P);
+    C.Stmts = &PerProc[P].Stmts;
+    C.ProgressCtr = 0;
+    C.ProgressEvery = ~0ull; // in-process: no transport to pump
+    C.ReadSlow = &NativeState::readSlow;
+    C.WriteSlow = &NativeState::writeSlow;
+    C.Stmt = &NativeState::stmt;
+    C.Progress = &NativeState::progress;
+    C.PairQ = nullptr; // bound per event enumeration
+    C.PairF = nullptr;
+    C.NumPairs = 0;
+    C.CapPairs = 0;
+    C.GrowPairs = &NativeState::growPairs;
+  }
+  Native = std::move(NS);
+}
 
 //===----------------------------------------------------------------------===//
 // Plan walking
@@ -513,26 +696,50 @@ void PlanExecutor::buildLists(const PlanAst &A, const EventPlan &EP,
                               unsigned P, std::vector<PartnerList> &Lists,
                               bool RecvSide) {
   Scratch &S = PerProc[P];
-  S.Raw.clear();
-  const unsigned ND = static_cast<unsigned>(EP.PartnerSlots.size());
-  std::vector<int64_t> PT(ND);
-  int64_t *Stack = S.Stack.data();
-  walkAll(A, I.Env[P].data(), Stack,
-          [&](int32_t, const int64_t *Regs) {
-            for (unsigned D = 0; D != ND; ++D)
-              PT[D] = Regs[EP.PartnerSlots[D]];
-            if (!isRealVP(PT.data()))
-              return; // fictitious virtual processor
-            unsigned Q = rankOfPartner(PT.data());
-            if (Q == P)
-              return; // VP neighbours on the same physical processor
-            S.Raw.push_back({Q, EP.ElemFlat.eval(Regs, Stack)});
-          });
+  if (Native && Native->T) {
+    // Native enumeration: the kernel folds the realVP check and rank
+    // mapping to constants and fills RawQ/RawF through the pair buffer.
+    size_t EIdx = static_cast<size_t>(&EP - Plan.Events.data());
+    NativeState::Ctx &X = Native->Procs[P];
+    if (S.RawQ.empty()) {
+      S.RawQ.resize(256);
+      S.RawF.resize(256);
+    }
+    X.C.PairQ = S.RawQ.data();
+    X.C.PairF = S.RawF.data();
+    X.C.NumPairs = 0;
+    X.C.CapPairs = S.RawQ.size();
+    DhpfEnumFn Fn =
+        RecvSide ? Native->T->EventRecv[EIdx] : Native->T->EventSend[EIdx];
+    Fn(&X.C, I.Env[P].data());
+    S.RawLen = X.C.NumPairs;
+  } else {
+    S.RawQ.clear();
+    S.RawF.clear();
+    const unsigned ND = static_cast<unsigned>(EP.PartnerSlots.size());
+    std::vector<int64_t> PT(ND);
+    int64_t *Stack = S.Stack.data();
+    walkAll(A, I.Env[P].data(), Stack,
+            [&](int32_t, const int64_t *Regs) {
+              for (unsigned D = 0; D != ND; ++D)
+                PT[D] = Regs[EP.PartnerSlots[D]];
+              if (!isRealVP(PT.data()))
+                return; // fictitious virtual processor
+              unsigned Q = rankOfPartner(PT.data());
+              if (Q == P)
+                return; // VP neighbours on the same physical processor
+              S.RawQ.push_back(Q);
+              S.RawF.push_back(EP.ElemFlat.eval(Regs, Stack));
+            });
+    S.RawLen = S.RawQ.size();
+  }
   // Group per partner in first-appearance order (the tree engine's message
   // order), then dedup by sort+unique: union conjuncts in the comm sets may
   // enumerate an element twice.
   Lists.clear();
-  for (const auto &[Q, F] : S.Raw) {
+  for (size_t R = 0; R != S.RawLen; ++R) {
+    const unsigned Q = S.RawQ[R];
+    const int64_t F = S.RawF[R];
     if (S.PartnerPos[Q] < 0) {
       S.PartnerPos[Q] = static_cast<int32_t>(Lists.size());
       PartnerList PL;
@@ -598,11 +805,19 @@ void PlanExecutor::runSend(const PlanNode &N) {
       Pay.Vals.resize(F.size());
       if (PL.Own == PartnerList::OwnClass::AllLocal && PL.Contig) {
         // Zero-copy span gather: the Section 3.3 analysis promised this
-        // shape; memcpy straight out of the store.
-        std::copy_n(Arr.data() + PL.Base, F.size(), Pay.Vals.data());
+        // shape; memcpy straight out of the store (via the kernel's pack
+        // body when the native engine is live).
+        if (Native && Native->T)
+          Native->T->CopySpan(Pay.Vals.data(), Arr.data() + PL.Base,
+                              F.size());
+        else
+          std::copy_n(Arr.data() + PL.Base, F.size(), Pay.Vals.data());
       } else if (PL.Own == PartnerList::OwnClass::AllLocal) {
-        for (size_t K = 0; K != F.size(); ++K)
-          Pay.Vals[K] = Arr.at(F[K]);
+        if (Native && Native->T)
+          Native->T->Gather(Pay.Vals.data(), Arr.data(), F.data(), F.size());
+        else
+          for (size_t K = 0; K != F.size(); ++K)
+            Pay.Vals[K] = Arr.at(F[K]);
       } else {
         auto &Pd = PdV[P][EP.Array];
         for (size_t K = 0; K != F.size(); ++K) {
@@ -708,7 +923,11 @@ void PlanExecutor::runRecv(const PlanNode &N) {
           Pay.count() == Exp.size() &&
           PL.Own == PartnerList::OwnClass::AllLocal) {
         // Zero-copy span apply: unpack is a single memcpy into the store.
-        std::copy_n(Pay.Vals.data(), Pay.count(), Arr.data() + PL.Base);
+        if (Native && Native->T)
+          Native->T->CopySpan(Arr.data() + PL.Base, Pay.Vals.data(),
+                              Pay.count());
+        else
+          std::copy_n(Pay.Vals.data(), Pay.count(), Arr.data() + PL.Base);
       } else if (Pay.Contig) {
         int64_t Cnt = static_cast<int64_t>(Pay.count());
         for (int64_t F : Exp) {
@@ -736,6 +955,16 @@ void PlanExecutor::runRecv(const PlanNode &N) {
 }
 
 void PlanExecutor::runCompute(const PlanNode &N) {
+  if (Native && Native->T && N.NativeComputeId >= 0) {
+    // The compiled loop nest performs the identical sequence of reads,
+    // statement calls, stores, clock bumps, and instance counts; slow
+    // paths (non-local elements) come back through the trampolines.
+    const DhpfComputeFn Fn = Native->T->Compute[N.NativeComputeId];
+    forProcs(N.ParallelSafe,
+             [&](unsigned P) { Fn(&Native->Procs[P].C, I.Env[P].data()); });
+    mergeScratch();
+    return;
+  }
   forProcs(N.ParallelSafe, [&](unsigned P) {
     Scratch &S = PerProc[P];
     int64_t *Regs = I.Env[P].data();
@@ -761,12 +990,23 @@ void PlanExecutor::runReduce(const PlanNode &N) {
                         ? -std::numeric_limits<double>::infinity()
                         : 0.0;
   std::vector<double *> Slot(NP);
-  for (unsigned P = 0; P != NP; ++P) {
-    double &V = I.Accums[P][N.RedName];
-    Slot[P] = &V;
-    Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, V)
-                                                  : Combined + V;
-  }
+  if (Native && Native->T && N.NativeReduceId >= 0) {
+    // The kernel combine body folds in processor order with the exact
+    // same floating-point operation sequence as the loop below.
+    std::vector<double> Vals(NP);
+    for (unsigned P = 0; P != NP; ++P) {
+      double &V = I.Accums[P][N.RedName];
+      Slot[P] = &V;
+      Vals[P] = V;
+    }
+    Combined = Native->T->Reduce[N.NativeReduceId](Vals.data(), NP);
+  } else
+    for (unsigned P = 0; P != NP; ++P) {
+      double &V = I.Accums[P][N.RedName];
+      Slot[P] = &V;
+      Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, V)
+                                                    : Combined + V;
+    }
   for (unsigned P = 0; P != NP; ++P)
     *Slot[P] = Combined;
   I.Mach.allReduce(N.RedBytes);

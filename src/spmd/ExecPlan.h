@@ -126,6 +126,11 @@ struct PlanNode {
   std::string RedName;
   uint64_t RedBytes = 8;
   double RedCost = 1.0;
+  /// Native-engine kernel indices, assigned by buildExecPlan in preorder
+  /// (every Compute/Reduce node gets one, so the i-th Compute SpmdNode in
+  /// preorder maps to compute kernel i — rt::RankEngine relies on this).
+  int32_t NativeComputeId = -1; // Compute
+  int32_t NativeReduceId = -1;  // Reduce
   std::vector<PlanNode> Children;
 };
 
@@ -149,12 +154,40 @@ struct ExecPlan {
   unsigned StackDepth = 1; // max bytecode stack depth over the whole plan
 };
 
+/// Everything lowering needs from an execution context. Both in-process
+/// engines (via the Interpreter) and the distributed rank runtime
+/// (rt::RankEngine) build plans from the same inputs, so a plan — and the
+/// native kernel source generated from it — is identical wherever it is
+/// built, which is what lets every rank of a launch share one kernel-cache
+/// entry.
+struct PlanBuildInputs {
+  std::map<std::string, ArrayStore> *Arrays = nullptr;
+  const std::map<std::string, int64_t> *AllBindings = nullptr;
+  const std::vector<int64_t> *ProcShape = nullptr;
+  const std::vector<char> *EventInPlace = nullptr;
+};
+
+/// A built plan plus the array-name resolution used to build it.
+struct PlanBuild {
+  ExecPlan Plan;
+  std::map<std::string, uint32_t> ArrayIds;
+  std::vector<ArrayStore *> Stores; // by array id
+};
+
+/// Lowers \p Prog once against \p In (see PlanBuildInputs). Deterministic:
+/// identical inputs produce an identical plan.
+PlanBuild buildExecPlan(const SpmdProgram &Prog, const PlanBuildInputs &In);
+
 /// Runs one lowered plan against an Interpreter's state (arrays,
 /// environments, simulated machine). Built by the Interpreter constructor
 /// when the bytecode engine is selected.
 class PlanExecutor {
 public:
-  PlanExecutor(const SpmdProgram &Prog, Interpreter &I, unsigned Threads);
+  /// \p Engine must be Bytecode or Native. Native compiles the plan's hot
+  /// loops through the kernel cache at construction time and falls back to
+  /// bytecode dispatch (with one stderr note) when no compiler is usable.
+  PlanExecutor(const SpmdProgram &Prog, Interpreter &I, unsigned Threads,
+               EngineKind Engine = EngineKind::Bytecode);
   ~PlanExecutor();
 
   RunResult run();
@@ -193,7 +226,13 @@ private:
   struct Scratch {
     std::vector<int64_t> Stack;
     std::vector<double> Reads;
-    std::vector<std::pair<unsigned, int64_t>> Raw; // (partner, flat)
+    /// Raw (partner, flat) enumeration, split into parallel arrays so the
+    /// native event kernels can fill them directly through the DhpfCtx
+    /// pair buffer. In native mode the vectors are capacity storage and
+    /// RawLen is the element count; in bytecode mode RawLen == size().
+    std::vector<uint32_t> RawQ;
+    std::vector<int64_t> RawF;
+    size_t RawLen = 0;
     std::vector<int32_t> PartnerPos;
     std::vector<PartnerList> Lists; // rebuilt lists (uncacheable events)
     std::vector<Payload> Out;
@@ -222,14 +261,16 @@ private:
   std::map<std::tuple<unsigned, unsigned, int>, std::queue<Payload>>
       Payloads;
 
-  // Lowering.
-  void build();
-  void lowerInto(PlanAst &Out, const cg::AstNode &N,
-                 const bc::SlotConsts &Fixed);
-  PlanNode lowerNode(const SpmdNode &N, const bc::SlotConsts &Fixed);
-  bc::Prog flattenExpr(const std::vector<cg::Expr> &Subs, const ArrayStore &A,
-                       const bc::SlotConsts &Fixed);
-  void noteDepth(const bc::Prog &P);
+  /// Native-engine state: the loaded kernel table plus one DhpfCtx per
+  /// processor rank (defined in ExecPlan.cpp; null when the engine is
+  /// bytecode or the native setup fell back).
+  struct NativeState;
+  std::unique_ptr<NativeState> Native;
+  void setupNative();
+  /// Statement-semantics trampoline target for native kernels (member so
+  /// it retains the executor's friend access to the Interpreter).
+  double nativeStmt(unsigned P, int32_t Leaf, int32_t N,
+                    const double *Reads);
 
   // Execution.
   void runNode(const PlanNode &N);

@@ -54,7 +54,8 @@ Interpreter::Interpreter(const SpmdProgram &ProgIn, RunConfig ConfigIn)
   Overlay.resize(NumProcs);
   Pending.resize(NumProcs);
   Accums.resize(NumProcs);
-  if (resolveEngine(Config.Engine) == EngineKind::Bytecode) {
+  EngineKind E = resolveEngine(Config.Engine);
+  if (E == EngineKind::Bytecode || E == EngineKind::Native) {
     unsigned T = Config.ExecThreads;
     if (T == 0) {
       if (const char *S = std::getenv("DHPF_SPMD_THREADS")) {
@@ -64,7 +65,7 @@ Interpreter::Interpreter(const SpmdProgram &ProgIn, RunConfig ConfigIn)
         T = ThreadPool::hardwareThreads();
       }
     }
-    Exec = std::make_unique<PlanExecutor>(Prog, *this, T);
+    Exec = std::make_unique<PlanExecutor>(Prog, *this, T, E);
   }
 }
 
@@ -76,6 +77,8 @@ EngineKind Interpreter::resolveEngine(EngineKind E) {
   const char *S = std::getenv("DHPF_SPMD_ENGINE");
   if (S && std::strcmp(S, "tree") == 0)
     return EngineKind::Tree;
+  if (S && std::strcmp(S, "native") == 0)
+    return EngineKind::Native;
   return EngineKind::Bytecode;
 }
 

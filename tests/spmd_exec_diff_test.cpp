@@ -2,19 +2,24 @@
 //
 // Part of dhpf-sets (PLDI 1998 dHPF reproduction).
 //
-// The bytecode engine (ExecPlan.h) must be observationally identical to the
+// The bytecode engine (ExecPlan.h) and the native engine (compiled C
+// kernels over the same plans) must be observationally identical to the
 // tree-walking interpreter: bit-identical array state, identical message
 // traffic and simulated times, identical accumulators — for every Figure 7
-// application, and independent of the number of execution threads.
+// application, and independent of the number of execution threads. The
+// native legs are skipped (with a note) when no C compiler answers the
+// kernel cache's probe.
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
 #include "core/Compiler.h"
+#include "spmd/KernelCache.h"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <vector>
 
@@ -108,8 +113,8 @@ void expectSame(const Observed &Tree, const Observed &Byte,
   }
 }
 
-/// Runs \p App under tree and under bytecode with 1 and 4 execution
-/// threads; every observable must match the tree oracle exactly.
+/// Runs \p App under tree, then under bytecode and native with 1 and 4
+/// execution threads; every observable must match the tree oracle exactly.
 void diffApp(AppInstance App, const std::vector<int64_t> &ProcShape) {
   auto Compiled = compileProgram(*App.Prog);
   ASSERT_TRUE(Compiled) << App.Name;
@@ -124,6 +129,21 @@ void diffApp(AppInstance App, const std::vector<int64_t> &ProcShape) {
     expectSame(Tree, Byte,
                App.Name + " bytecode/" + std::to_string(Threads) +
                    "-thread");
+  }
+
+  if (spmd::native::KernelCache::global().compilerAvailable()) {
+    for (unsigned Threads : {1u, 4u}) {
+      SCOPED_TRACE(App.Name);
+      Observed Nat =
+          runOnce(*Compiled, App, ProcShape, EngineKind::Native, Threads);
+      expectSame(Tree, Nat,
+                 App.Name + " native/" + std::to_string(Threads) +
+                     "-thread");
+    }
+  } else {
+    std::cout << "[   NOTE   ] no usable C compiler; native-engine legs "
+                 "skipped for "
+              << App.Name << "\n";
   }
 
   // The serial-reference check must also pass under the bytecode engine.

@@ -33,11 +33,13 @@
 #include "rt/Launch.h"
 #include "rt/Session.h"
 #include "spmd/Interp.h"
+#include "spmd/KernelCache.h"
 #include "spmd/Serialize.h"
 #include "support/Diag.h"
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -87,7 +89,12 @@ int usage(const char *Argv0) {
       << "run options:\n"
       << "  -p <n>               total processors (default 4)\n"
       << "  --procs=<a,b,..>     explicit processor-array extents\n"
-      << "  --engine=<e>         tree | bytecode | auto (default auto)\n"
+      << "  --engine=<e>         tree | bytecode | native | auto (default "
+         "auto)\n"
+      << "  --kernel-cache=<d>   native-kernel cache directory ('off' = "
+         "in-memory only;\n"
+      << "                       default DHPF_KERNEL_CACHE or "
+         "~/.cache/dhpf-kernels)\n"
       << "  --param=<name=val>   bind a program parameter\n"
       << "  --no-check           skip the serial reference check\n"
       << "  --no-validity        skip ownership/communication validation\n"
@@ -122,10 +129,21 @@ int usage(const char *Argv0) {
 #endif
 
 int printVersion() {
+  spmd::native::KernelCache &KC = spmd::native::KernelCache::global();
+  std::string Dir = spmd::native::KernelCache::resolvedDir();
   std::cout << "dhpfc " << DHPF_GIT_DESC << " (build " << DHPF_BUILD_TYPE
             << ")\n"
-            << "  engines:    tree bytecode\n"
-            << "  transports: loopback unix-socket\n";
+            << "  engines:    tree bytecode native";
+  if (KC.compilerAvailable())
+    std::cout << " (" << KC.compilerVersion() << ")";
+  else
+    std::cout << " (no C compiler: '"
+              << spmd::native::KernelCache::compilerCommand()
+              << "' unusable; native falls back to bytecode)";
+  std::cout << "\n"
+            << "  transports: loopback unix-socket\n"
+            << "  kernel cache: "
+            << (Dir.empty() ? "disabled (in-memory only)" : Dir) << "\n";
   return 0;
 }
 
@@ -184,6 +202,7 @@ struct CliOptions {
   bool Stats = false;
   bool NoCheck = false;
   bool NoValidity = false;
+  std::string KernelCache; ///< --kernel-cache= native cache dir override
   std::string RtBin;   ///< --rt-bin override for launch
   int TimeoutMs = 0;   ///< --timeout-ms launch deadline
   bool KeepMesh = false;
@@ -243,6 +262,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.DumpAfter = V;
     } else if (Value(A, "--engine=", V)) {
       O.Engine = V;
+    } else if (Value(A, "--kernel-cache=", V)) {
+      O.KernelCache = V;
     } else if (Value(A, "--threads=", V)) {
       int64_t N;
       if (!parseInt(V, N) || N < 0) {
@@ -379,15 +400,32 @@ bool parseEngine(const std::string &S, spmd::EngineKind &Out) {
     Out = spmd::EngineKind::Tree;
   else if (S == "bytecode")
     Out = spmd::EngineKind::Bytecode;
+  else if (S == "native")
+    Out = spmd::EngineKind::Native;
   else
     return false;
   return true;
 }
 
 const char *engineName(spmd::EngineKind E) {
-  return spmd::Interpreter::resolveEngine(E) == spmd::EngineKind::Tree
-             ? "tree"
-             : "bytecode";
+  switch (spmd::Interpreter::resolveEngine(E)) {
+  case spmd::EngineKind::Tree:
+    return "tree";
+  case spmd::EngineKind::Native:
+    return "native";
+  default:
+    return "bytecode";
+  }
+}
+
+/// Materializes the engine-affecting options into the environment, so the
+/// in-process engines, the version banner, and — crucially — the rank
+/// processes a launch forks all resolve them identically.
+void applyEngineEnv(const CliOptions &O) {
+  if (!O.Engine.empty() && O.Engine != "auto")
+    ::setenv("DHPF_SPMD_ENGINE", O.Engine.c_str(), 1);
+  if (!O.KernelCache.empty())
+    ::setenv("DHPF_KERNEL_CACHE", O.KernelCache.c_str(), 1);
 }
 
 rt::SessionOptions sessionOptions(const CliOptions &O) {
@@ -448,9 +486,10 @@ int runProgram(const spmd::SpmdProgram &SP, const CliOptions &O) {
     RC.ExecThreads = 1;
   if (!parseEngine(O.Engine, RC.Engine)) {
     std::cerr << "dhpfc: unknown engine '" << O.Engine
-              << "' (want tree|bytecode|auto)\n";
+              << "' (want tree|bytecode|native|auto)\n";
     return 2;
   }
+  applyEngineEnv(O);
 
   spmd::Interpreter I(SP, RC);
   S->setup(SP, I);
@@ -533,6 +572,15 @@ std::string compareRuns(const rt::MergedRun &Dist, const spmd::RunResult &Ref,
 /// socket mesh, then (unless --no-check) re-run in-process and demand
 /// bit-identical results.
 int cmdLaunch(const CliOptions &O, const char *Argv0) {
+  spmd::EngineKind EK;
+  if (!parseEngine(O.Engine, EK)) {
+    std::cerr << "dhpfc: unknown engine '" << O.Engine
+              << "' (want tree|bytecode|native|auto)\n";
+    return 2;
+  }
+  // Before any fork: the rank processes must resolve the same engine and
+  // kernel cache as the in-process oracle below.
+  applyEngineEnv(O);
   std::string Text, Err;
   if (!readFile(O.Input, Text, Err)) {
     std::cerr << "dhpfc: " << Err << "\n";
@@ -623,7 +671,7 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
     spmd::RunConfig RC = S->Config;
     if (!parseEngine(O.Engine, RC.Engine)) {
       std::cerr << "dhpfc: unknown engine '" << O.Engine
-                << "' (want tree|bytecode|auto)\n";
+                << "' (want tree|bytecode|native|auto)\n";
       return 2;
     }
     spmd::Interpreter I(*SP, RC);
