@@ -78,6 +78,23 @@ public:
       ++Pos;
     return S.substr(B, Pos - B);
   }
+  /// A display name (program / procedure / nest): an identifier that may
+  /// also contain '-', '/', and '.' after the first character. These names
+  /// never appear in affine expressions, so the extra characters are
+  /// unambiguous — and the apps' generated names ("sp-sym", "sub0/rhs")
+  /// must survive printHpfProgram -> parseHpfProgram round trips.
+  std::string name() {
+    skipWs();
+    if (!atIdent())
+      fail("expected name");
+    size_t B = Pos;
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '_' || S[Pos] == '-' || S[Pos] == '/' ||
+            S[Pos] == '.'))
+      ++Pos;
+    return S.substr(B, Pos - B);
+  }
   bool atNumber() {
     skipWs();
     return !atEnd() && std::isdigit(static_cast<unsigned char>(S[Pos]));
@@ -215,7 +232,7 @@ private:
     if (L.tryKeyword("program")) {
       if (Prog)
         L.fail("duplicate 'program' line");
-      Prog = std::make_unique<Program>(L.ident());
+      Prog = std::make_unique<Program>(L.name());
       return;
     }
     if (!Prog)
@@ -325,7 +342,7 @@ private:
     if (L.tryKeyword("procedure")) {
       if (InProc)
         L.fail("nested procedures are not supported");
-      CurProc = &Prog->addProcedure(L.ident());
+      CurProc = &Prog->addProcedure(L.name());
       InProc = true;
       return;
     }
@@ -377,7 +394,7 @@ private:
       if (InNest)
         L.fail("nests do not nest; close the previous one with 'endnest'");
       PendingNest = ComputeNest();
-      PendingNest.Name = L.ident();
+      PendingNest.Name = L.name();
       if (L.tryKeyword("vectorize"))
         PendingNest.VectorizeLevel = static_cast<unsigned>(L.number());
       InNest = true;

@@ -76,6 +76,13 @@ FrameHeader decodeHeader(const uint8_t In[FrameHeaderBytes]);
 constexpr uint64_t fnv1aInit() { return 0xcbf29ce484222325ull; }
 uint64_t fnv1aAccum(uint64_t H, const void *Data, size_t Len);
 
+/// Reads a positive millisecond count from environment variable \p Name.
+/// Unset or empty returns \p Def. A malformed value — non-numeric text,
+/// trailing junk, zero, negative, or out of int range — is a
+/// TransportError naming the variable, never a silent fallback to the
+/// default (a typo in a timeout must not quietly change test deadlines).
+int envMs(const char *Name, int Def);
+
 /// One piece of a scatter/gather payload. The memory only needs to stay
 /// valid for the duration of the post() call.
 struct ByteSpan {

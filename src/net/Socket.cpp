@@ -54,14 +54,8 @@ public:
     if (NP <= 1)
       return;
     int ConnectMs = Opts.ConnectTimeoutMs;
-    if (ConnectMs <= 0) {
-      ConnectMs = 5000;
-      if (const char *S = std::getenv("DHPF_NET_CONNECT_MS")) {
-        long V = std::strtol(S, nullptr, 10);
-        if (V > 0)
-          ConnectMs = static_cast<int>(V);
-      }
-    }
+    if (ConnectMs <= 0)
+      ConnectMs = envMs("DHPF_NET_CONNECT_MS", 5000);
     listenOn(sockPath(Opts.MeshDir, Rank));
     // Connect to every lower rank (retry/backoff: listeners may not have
     // bound yet), then accept every higher rank.

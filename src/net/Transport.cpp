@@ -8,6 +8,7 @@
 
 #include "obs/Trace.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -81,6 +82,20 @@ uint64_t net::fnv1aAccum(uint64_t H, const void *Data, size_t Len) {
     H *= 0x100000001b3ull;
   }
   return H;
+}
+
+int net::envMs(const char *Name, int Def) {
+  const char *S = std::getenv(Name);
+  if (!S || !*S)
+    return Def;
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(S, &End, 10);
+  if (errno != 0 || End == S || *End != '\0' || V <= 0 || V > 1000000000)
+    throw TransportError(std::string("malformed ") + Name + "='" + S +
+                         "' (expected a positive integer millisecond "
+                         "count)");
+  return static_cast<int>(V);
 }
 
 //===----------------------------------------------------------------------===//
@@ -166,15 +181,10 @@ FaultInjector::Action FaultInjector::next() {
 //===----------------------------------------------------------------------===//
 
 Transport::Transport(unsigned RankIn, unsigned NPIn)
-    : Rank(RankIn), NP(NPIn), Watchdog(10000),
+    : Rank(RankIn), NP(NPIn),
+      Watchdog(envMs("DHPF_NET_TIMEOUT_MS", 10000)),
       Faults(FaultInjector::fromEnv(RankIn)), NextSendSeq(NPIn, 0),
-      NextRecvSeq(NPIn, 0), Dead(NPIn, 0), DeadWhy(NPIn) {
-  if (const char *S = std::getenv("DHPF_NET_TIMEOUT_MS")) {
-    long V = std::strtol(S, nullptr, 10);
-    if (V > 0)
-      Watchdog = static_cast<int>(V);
-  }
-}
+      NextRecvSeq(NPIn, 0), Dead(NPIn, 0), DeadWhy(NPIn) {}
 
 Transport::~Transport() = default;
 

@@ -8,8 +8,12 @@
 
 #include "obs/Metrics.h"
 #include "pset/Intern.h"
+#include "support/Diag.h"
 
 #include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
 
 using namespace dhpf;
 using namespace dhpf::pset;
@@ -100,6 +104,107 @@ void OpCache::clear() {
     S.LRU.clear();
     S.Map.clear();
   }
+}
+
+size_t OpCache::entryCount() {
+  size_t N = 0;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.LRU.size();
+  }
+  return N;
+}
+
+void OpCache::serialize(std::ostream &OS) {
+  // Snapshot under the shard locks, emit outside them. Each shard's LRU
+  // list is walked back-to-front (least recent first) so that replaying
+  // the entries through insertImpl — which pushes to the front — rebuilds
+  // the same recency order.
+  struct Entry {
+    Key K;
+    bool IsBool;
+    bool B;
+    std::string Rel;
+  };
+  std::vector<Entry> Entries;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (auto It = S.LRU.rbegin(); It != S.LRU.rend(); ++It) {
+      Entry E;
+      E.K = It->first;
+      E.IsBool = It->first.O == static_cast<uint8_t>(Op::IsEmpty);
+      if (E.IsBool)
+        E.B = It->second.B;
+      else
+        E.Rel = It->second.R.toString();
+      Entries.push_back(std::move(E));
+    }
+  }
+  OS << "dhpf-opcache v1 " << Entries.size() << "\n";
+  for (const Entry &E : Entries) {
+    if (E.IsBool) {
+      OS << "bool " << unsigned(E.K.O) << " " << std::hex << E.K.A
+         << std::dec << " " << (E.B ? 1 : 0) << "\n";
+    } else {
+      OS << "rel " << unsigned(E.K.O) << " " << std::hex << E.K.A << " "
+         << E.K.B << std::dec << " " << E.Rel.size() << "\n"
+         << E.Rel << "\n";
+    }
+  }
+}
+
+bool OpCache::deserialize(std::istream &IS, std::string *Err) {
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = "opcache image: " + Why;
+    return false;
+  };
+  std::string Tag, Ver;
+  size_t N = 0;
+  if (!(IS >> Tag >> Ver >> N) || Tag != "dhpf-opcache")
+    return Fail("missing 'dhpf-opcache' header");
+  if (Ver != "v1")
+    return Fail("unsupported version '" + Ver + "'");
+  IS.ignore(1); // the newline after the header
+  // Parse everything before touching the cache: a truncated or corrupted
+  // image loads nothing rather than a silent prefix.
+  std::vector<std::pair<Key, Value>> Entries;
+  Entries.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    std::string Kind;
+    unsigned O = 0;
+    if (!(IS >> Kind >> O) || O > static_cast<unsigned>(Op::IsEmpty))
+      return Fail("truncated at entry " + std::to_string(I));
+    Key K{static_cast<uint8_t>(O), 0, 0};
+    Value V;
+    if (Kind == "bool") {
+      int B = 0;
+      if (!(IS >> std::hex >> K.A >> std::dec >> B))
+        return Fail("malformed bool entry " + std::to_string(I));
+      V.B = B != 0;
+    } else if (Kind == "rel") {
+      size_t Len = 0;
+      if (!(IS >> std::hex >> K.A >> K.B >> std::dec >> Len))
+        return Fail("malformed rel entry " + std::to_string(I));
+      IS.ignore(1);
+      std::string Text(Len, '\0');
+      if (!IS.read(Text.data(), static_cast<std::streamsize>(Len)))
+        return Fail("truncated relation text at entry " + std::to_string(I));
+      DiagnosticEngine Diags;
+      Expected<Relation> R =
+          parseRelation(Text, Diags, "<opcache entry " + std::to_string(I) + ">");
+      if (!R)
+        return Fail("unparsable relation at entry " + std::to_string(I) +
+                    ": " + Diags.str());
+      V.R = std::move(R).take();
+    } else {
+      return Fail("unknown entry kind '" + Kind + "'");
+    }
+    Entries.emplace_back(K, std::move(V));
+  }
+  for (auto &E : Entries)
+    insertImpl(E.first, std::move(E.second));
+  return true;
 }
 
 std::vector<OpCache::ShardStats> OpCache::perShardStats() {

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -120,6 +121,23 @@ public:
 
   /// Drops all entries (counters are kept; see statsReset).
   void clear();
+
+  /// Writes every resident entry as versioned text (relations in the
+  /// parser's own syntax, length-prefixed). Shards are walked LRU-first so
+  /// a deserialize() replays insertions in recency order and reproduces
+  /// each shard's eviction order exactly.
+  void serialize(std::ostream &OS);
+
+  /// Reloads a serialize() image into the cache (on top of whatever is
+  /// resident; normal capacity eviction applies). Hit/miss counters are
+  /// untouched — a reloaded cache scores its first post-reload lookups
+  /// exactly like the process that wrote the image would have. Returns
+  /// false with \p Err set on a malformed or version-mismatched image,
+  /// loading nothing.
+  bool deserialize(std::istream &IS, std::string *Err);
+
+  /// Total resident entries across all shards.
+  size_t entryCount();
 
   CacheStats stats() const;
 

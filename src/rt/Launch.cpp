@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <fcntl.h>
 #include <fstream>
 #include <signal.h>
@@ -61,15 +62,33 @@ std::string stderrTail(const std::string &Path) {
   return Tail;
 }
 
-void removeTree(const std::string &Dir, unsigned NP) {
-  for (unsigned R = 0; R != NP; ++R) {
-    ::unlink((Dir + "/rank" + std::to_string(R) + ".sock").c_str());
-    ::unlink((Dir + "/rank" + std::to_string(R) + ".result").c_str());
-    ::unlink((Dir + "/rank" + std::to_string(R) + ".err").c_str());
-    ::unlink((Dir + "/rank" + std::to_string(R) + ".trace").c_str());
+/// Unlinks every entry in \p Dir (sockets, results, stderr captures,
+/// traces — whatever the ranks actually left), then the directory itself.
+/// Enumerating instead of guessing file names means a rank that wrote
+/// something unexpected cannot make the removal silently fail.
+void removeTree(const std::string &Dir) {
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (const dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::unlink((Dir + "/" + Name).c_str());
+    }
+    ::closedir(D);
   }
   ::rmdir(Dir.c_str());
 }
+
+/// Owns the mesh scratch directory for the duration of a launch: every
+/// exit path — success, any failure, or an exception from parsing/merging
+/// — removes the tree unless --keep-mesh asked for it.
+struct MeshDirGuard {
+  std::string Dir;
+  bool Keep;
+  ~MeshDirGuard() {
+    if (!Keep && !Dir.empty())
+      removeTree(Dir);
+  }
+};
 
 } // namespace
 
@@ -120,6 +139,7 @@ LaunchResult rt::launchRanks(const spmd::SpmdProgram &SP, const Session &S,
     return LR;
   }
   std::string Dir = DirBuf.data();
+  MeshDirGuard Guard{Dir, Opts.KeepDir};
 
   // Every rank re-resolves the session from identical explicit flags.
   std::vector<std::string> Common = {Opts.RtBinary, Opts.SpmdPath,
@@ -144,10 +164,12 @@ LaunchResult rt::launchRanks(const spmd::SpmdProgram &SP, const Session &S,
     pid_t Pid = ::fork();
     if (Pid < 0) {
       LR.Error = "fork failed: " + std::string(std::strerror(errno));
-      for (unsigned K = 0; K != R; ++K)
+      for (unsigned K = 0; K != R; ++K) {
         ::kill(Pids[K], SIGKILL);
-      if (!Opts.KeepDir)
-        removeTree(Dir, NP);
+        ::waitpid(Pids[K], nullptr, 0);
+      }
+      if (Opts.KeepDir)
+        LR.Dir = Dir;
       return LR;
     }
     if (Pid == 0) {
@@ -240,8 +262,6 @@ LaunchResult rt::launchRanks(const spmd::SpmdProgram &SP, const Session &S,
     LR.Error = Fail;
     if (Opts.KeepDir)
       LR.Dir = Dir;
-    else
-      removeTree(Dir, NP);
     return LR;
   }
 
@@ -276,7 +296,5 @@ LaunchResult rt::launchRanks(const spmd::SpmdProgram &SP, const Session &S,
   }
   if (Opts.KeepDir)
     LR.Dir = Dir;
-  else
-    removeTree(Dir, NP);
   return LR;
 }

@@ -16,7 +16,9 @@
 #include <fstream>
 #include <sstream>
 
+#include <dirent.h>
 #include <dlfcn.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -216,6 +218,43 @@ KernelCache &KernelCache::global() {
   return C;
 }
 
+unsigned KernelCache::sweepStale(const std::string &Dir) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  unsigned Removed = 0;
+  while (const dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("dhpf-", 0) != 0)
+      continue;
+    // Temp droppings look like dhpf-<hex>.c.tmp<pid>, dhpf-<hex>.so.tmp<pid>
+    // or dhpf-<hex>.so.err<pid> (see writeFileAtomic / compileTU).
+    size_t Mark = Name.rfind(".tmp");
+    size_t SuffixLen = 4;
+    if (Mark == std::string::npos) {
+      Mark = Name.rfind(".err");
+      if (Mark == std::string::npos)
+        continue;
+    }
+    std::string PidStr = Name.substr(Mark + SuffixLen);
+    if (PidStr.empty() ||
+        PidStr.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    errno = 0;
+    long Pid = std::strtol(PidStr.c_str(), nullptr, 10);
+    if (errno != 0 || Pid <= 0)
+      continue;
+    // A live writer keeps its temp file; only a dead pid's file is a
+    // crashed compile's dropping. EPERM means "alive but not ours".
+    if (::kill(static_cast<pid_t>(Pid), 0) == 0 || errno != ESRCH)
+      continue;
+    if (::unlink((Dir + "/" + Name).c_str()) == 0)
+      ++Removed;
+  }
+  ::closedir(D);
+  return Removed;
+}
+
 bool KernelCache::probeLocked() {
   if (ProbeState == 0) {
     std::string Cmd = compilerCommand() + " --version 2>/dev/null";
@@ -274,6 +313,10 @@ const Kernel *KernelCache::get(const PlanSource &Src, std::string *Err) {
              std::strerror(errno);
       return nullptr;
     }
+    // First open of this directory: clear temp files left by compiles
+    // that crashed between write and rename (their pids are dead).
+    if (Swept.insert(Dir).second)
+      sweepStale(Dir);
     Base = Dir + "/dhpf-" + hex16(Key);
   } else {
     Base = "/tmp/dhpf-kernel-" + std::to_string(::getpid()) + "-" +

@@ -48,6 +48,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 namespace dhpf {
@@ -81,6 +82,13 @@ public:
   /// disabled. Does not create the directory.
   static std::string resolvedDir();
 
+  /// Removes `dhpf-*.tmp<pid>` / `dhpf-*.err<pid>` files in \p Dir whose
+  /// writing process is dead — the droppings of a compile that crashed
+  /// between temp write and rename. Files owned by live pids are left
+  /// alone (a sibling rank mid-compile). Returns the number removed.
+  /// get() runs this once per directory per process on first cache open.
+  static unsigned sweepStale(const std::string &Dir);
+
   /// Gets or builds the kernel for \p Src. On failure returns nullptr and
   /// explains in \p Err (missing compiler, compile error with the
   /// compiler's stderr, dlopen failure, verification mismatch).
@@ -95,6 +103,7 @@ public:
 private:
   std::mutex M;
   std::map<uint64_t, Kernel> Modules; // by cache key
+  std::set<std::string> Swept;        // dirs already swept for stale tmps
   int ProbeState = 0;                 // 0 unprobed, 1 ok, -1 missing
   std::string Version;
 

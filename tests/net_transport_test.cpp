@@ -377,4 +377,40 @@ void checkPeerDeath(std::vector<std::string> (*Run)(unsigned,
 TEST(NetPeerDeath, Loopback) { checkPeerDeath(runLoopbackRanks); }
 TEST(NetPeerDeath, Socket) { checkPeerDeath(runSocketRanks); }
 
+//===----------------------------------------------------------------------===//
+// Environment timeout parsing
+//===----------------------------------------------------------------------===//
+
+TEST(NetEnvMs, UnsetAndEmptyUseDefault) {
+  {
+    ScopedEnv E("DHPF_NET_TIMEOUT_MS", "");
+    unsetenv("DHPF_NET_TIMEOUT_MS");
+    EXPECT_EQ(envMs("DHPF_NET_TIMEOUT_MS", 1234), 1234);
+  }
+  ScopedEnv E("DHPF_NET_TIMEOUT_MS", "");
+  EXPECT_EQ(envMs("DHPF_NET_TIMEOUT_MS", 1234), 1234);
+}
+
+TEST(NetEnvMs, ValidValueParsed) {
+  ScopedEnv E("DHPF_NET_CONNECT_MS", "2500");
+  EXPECT_EQ(envMs("DHPF_NET_CONNECT_MS", 1), 2500);
+}
+
+/// A malformed timeout must be a named error, never a silent fallback to
+/// the default (a typo must not quietly change deadlines).
+TEST(NetEnvMs, MalformedValuesDiagnosedByName) {
+  const char *Bad[] = {"abc", "10x", "1.5", "-3", "0", "99999999999999999"};
+  for (const char *V : Bad) {
+    ScopedEnv E("DHPF_NET_TIMEOUT_MS", V);
+    try {
+      envMs("DHPF_NET_TIMEOUT_MS", 1000);
+      FAIL() << "value '" << V << "' accepted";
+    } catch (const TransportError &Err) {
+      EXPECT_NE(std::string(Err.what()).find("DHPF_NET_TIMEOUT_MS"),
+                std::string::npos)
+          << Err.what();
+    }
+  }
+}
+
 } // namespace

@@ -1,0 +1,145 @@
+//===- tests/opcache_persist_test.cpp - OpCache serialize/reload tests ---===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+// The daemon's warm-start story rests on one property: a reloaded
+// set-operation cache is indistinguishable from the live cache that wrote
+// it. The tests pin that down three ways:
+//
+//   1. Fixpoint: serialize -> clear -> deserialize -> serialize produces
+//      byte-identical text (entries, order, and recency all survive).
+//   2. Hit-equivalence: a warm recompile against a reloaded cache scores
+//      exactly the same hit/miss deltas as a warm recompile against the
+//      live cache that was serialized.
+//   3. Rejection: malformed or version-mismatched images are diagnosed
+//      and load nothing (all-or-nothing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/CompilerService.h"
+#include "hpf/HpfPrinter.h"
+#include "pset/OpCache.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace dhpf;
+using namespace dhpf::core;
+
+namespace {
+
+pset::OpCache &cache() { return pset::OpCache::global(); }
+
+/// Compiles \p Source through the service with the artifact cache
+/// bypassed, so every call exercises the OpCache, and returns the
+/// hit/miss deltas of that one compile.
+pset::CacheStats compileOnce(const std::string &Source) {
+  pset::CacheStats Before = cache().stats();
+  CompileRequest R;
+  R.Name = "<opcache_persist_test>";
+  R.Source = Source;
+  R.BypassArtifactCache = true;
+  std::shared_ptr<const CompileArtifact> A =
+      CompilerService::global().compile(R);
+  EXPECT_TRUE(A->Ok) << A->DiagText;
+  return cache().stats() - Before;
+}
+
+std::string serializeToString() {
+  std::ostringstream OS;
+  cache().serialize(OS);
+  return OS.str();
+}
+
+TEST(OpCachePersist, SerializeReloadFixpoint) {
+  cache().clear();
+  std::string Source = hpf::printHpfProgram(*apps::makeJacobi(12, 2).Prog);
+  compileOnce(Source);
+  ASSERT_GT(cache().entryCount(), 0u);
+
+  std::string Image = serializeToString();
+  size_t Entries = cache().entryCount();
+  cache().clear();
+  ASSERT_EQ(cache().entryCount(), 0u);
+
+  std::istringstream In(Image);
+  std::string Err;
+  ASSERT_TRUE(cache().deserialize(In, &Err)) << Err;
+  EXPECT_EQ(cache().entryCount(), Entries);
+  // Entries, shard placement, and recency order all survived: the reloaded
+  // cache serializes to the exact bytes it was loaded from.
+  EXPECT_EQ(serializeToString(), Image);
+  cache().clear();
+}
+
+TEST(OpCachePersist, ReloadedCacheScoresLikeLiveCache) {
+  cache().clear();
+  std::string Source = hpf::printHpfProgram(*apps::makeTomcatv(10, 2).Prog);
+  compileOnce(Source); // populate
+
+  // Warm recompile against the live cache.
+  pset::CacheStats Live = compileOnce(Source);
+  EXPECT_GT(Live.Hits, 0u);
+
+  // Save the cache as it stood after that warm compile, reload it into an
+  // empty cache, and recompile: the deltas must match exactly — the
+  // reloaded cache answers precisely the lookups the live one did.
+  std::string Image = serializeToString();
+  cache().clear();
+  std::istringstream In(Image);
+  std::string Err;
+  ASSERT_TRUE(cache().deserialize(In, &Err)) << Err;
+
+  pset::CacheStats Reloaded = compileOnce(Source);
+  EXPECT_EQ(Reloaded.Hits, Live.Hits);
+  EXPECT_EQ(Reloaded.Misses, Live.Misses);
+  cache().clear();
+}
+
+TEST(OpCachePersist, MalformedImagesRejectedWholesale) {
+  cache().clear();
+  std::string Source = hpf::printHpfProgram(*apps::makeGauss(8).Prog);
+  compileOnce(Source);
+  size_t Entries = cache().entryCount();
+  ASSERT_GT(Entries, 0u);
+  std::string Good = serializeToString();
+
+  const char *Bad[] = {
+      "",                                  // empty
+      "not-a-cache at all",                // wrong tag
+      "dhpf-opcache v2 0\n",               // future version
+      "dhpf-opcache v1 3\nrel 0 1 2 5\n",  // truncated entry
+      "dhpf-opcache v1 1\nrel 99 1 2 1\nX\n", // unknown op
+  };
+  for (const char *Image : Bad) {
+    std::istringstream In(Image);
+    std::string Err;
+    EXPECT_FALSE(cache().deserialize(In, &Err)) << "accepted: " << Image;
+    EXPECT_NE(Err, "");
+    // A failed load is all-or-nothing: the resident cache is untouched.
+    EXPECT_EQ(cache().entryCount(), Entries);
+    EXPECT_EQ(serializeToString(), Good);
+  }
+  cache().clear();
+}
+
+/// Counters are load-invariant: deserializing never scores hits or misses.
+TEST(OpCachePersist, LoadDoesNotTouchCounters) {
+  cache().clear();
+  std::string Source = hpf::printHpfProgram(*apps::makeJacobi(10, 1).Prog);
+  compileOnce(Source);
+  std::string Image = serializeToString();
+  pset::CacheStats Before = cache().stats();
+  cache().clear();
+  std::istringstream In(Image);
+  std::string Err;
+  ASSERT_TRUE(cache().deserialize(In, &Err)) << Err;
+  pset::CacheStats After = cache().stats();
+  EXPECT_EQ(After.Hits, Before.Hits);
+  EXPECT_EQ(After.Misses, Before.Misses);
+  cache().clear();
+}
+
+} // namespace

@@ -24,12 +24,13 @@
 
 #include "apps/Registry.h"
 #include "core/Compiler.h"
-#include "core/CompilerDriver.h"
+#include "core/CompilerService.h"
 #include "core/InPlace.h"
-#include "hpf/HpfParser.h"
 #include "hpf/HpfPrinter.h"
+#include "net/Server.h"
 #include "obs/Trace.h"
 #include "pset/OpCache.h"
+#include "rt/Daemon.h"
 #include "rt/Launch.h"
 #include "rt/Session.h"
 #include "spmd/Interp.h"
@@ -73,6 +74,14 @@ int usage(const char *Argv0) {
          "programs as .hpf\n"
       << "  list                                 list registered "
          "benchmarks\n"
+      << "  stats --server=<sock>                print a running daemon's "
+         "statistics\n"
+      << "  shutdown --server=<sock>             stop a running daemon\n"
+      << "\n"
+      << "client options (compile, run, pipeline):\n"
+      << "  --server=<sock>      send the request to the dhpfd daemon on "
+         "this socket\n"
+      << "                       instead of compiling/running in-process\n"
       << "\n"
       << "compile options:\n"
       << "  -o <file>            output path ('-' = stdout; default: input "
@@ -203,6 +212,7 @@ struct CliOptions {
   bool NoCheck = false;
   bool NoValidity = false;
   std::string KernelCache; ///< --kernel-cache= native cache dir override
+  std::string Server;  ///< --server= daemon socket (empty = in-process)
   std::string RtBin;   ///< --rt-bin override for launch
   int TimeoutMs = 0;   ///< --timeout-ms launch deadline
   bool KeepMesh = false;
@@ -264,6 +274,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Engine = V;
     } else if (Value(A, "--kernel-cache=", V)) {
       O.KernelCache = V;
+    } else if (Value(A, "--server=", V)) {
+      O.Server = V;
     } else if (Value(A, "--threads=", V)) {
       int64_t N;
       if (!parseInt(V, N) || N < 0) {
@@ -350,47 +362,90 @@ core::CompilerOptions compilerOptions(const CliOptions &O) {
   return CO;
 }
 
-void printCompileStats(const core::CompileOutput &Out) {
-  std::cout << "  comm events: " << Out.NumCommEvents << " ("
-            << Out.NumContiguousProven << " contiguous, "
-            << Out.NumRectSections << " rect sections), split nests: "
-            << Out.NumSplitNests << ", analysis threads: "
-            << Out.ThreadsUsed << "\n";
-  for (const PhaseTimers::Entry &E : Out.Timers.entries()) {
-    char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), "%9.3f ms", E.Seconds * 1e3);
-    std::cout << "  " << Buf << "  " << E.Name << "\n";
+/// What a compile produced, wherever it ran.
+struct CompiledUnit {
+  std::string ProgName;
+  std::string Spmd; ///< serialized program text
+};
+
+/// Connects to --server's daemon; prints and rethrows nothing — a
+/// connection failure is reported and null returned.
+std::unique_ptr<net::MsgStream> connectServer(const CliOptions &O) {
+  try {
+    return net::connectClient(O.Server);
+  } catch (const net::TransportError &E) {
+    std::cerr << "dhpfc: " << E.what() << "\n";
+    return nullptr;
   }
 }
 
-/// Parses + compiles one .hpf file; null (with diagnostics already
-/// printed) on any error. On success \p ProgOut owns the source program
-/// the compile output borrows.
-std::unique_ptr<core::CompileOutput>
-compileHpfFile(const std::string &Path, const CliOptions &O,
-               std::unique_ptr<hpf::Program> &ProgOut) {
+/// Compiles one .hpf file through the compiler service — in-process via
+/// CompilerService::global() by default, or on the dhpfd daemon with
+/// --server=. Both paths produce byte-identical serialized programs.
+/// Returns false with diagnostics already printed on any error.
+bool compileViaService(const std::string &Path, const CliOptions &O,
+                       CompiledUnit &Out) {
   std::string Text, Err;
   if (!readFile(Path, Text, Err)) {
     std::cerr << "dhpfc: " << Err << "\n";
-    return nullptr;
+    return false;
   }
-  DiagnosticEngine Diags;
-  auto Parsed = hpf::parseHpfProgram(Text, Diags, Path);
-  if (!Parsed) {
-    flushDiags(Diags);
-    return nullptr;
+  if (!O.Server.empty()) {
+    std::unique_ptr<net::MsgStream> Stream = connectServer(O);
+    if (!Stream)
+      return false;
+    try {
+      rt::DaemonCompileResult R =
+          rt::daemonCompile(*Stream, Path, Text, compilerOptions(O));
+      if (!R.DiagText.empty())
+        std::cerr << R.DiagText;
+      if (!R.Ok)
+        return false;
+      if (O.Stats) {
+        std::cout << "compiled '" << R.ProgName << "' (" << Path
+                  << ") on daemon " << O.Server << ", served " << R.Served
+                  << "\n"
+                  << R.StatsText;
+      }
+      Out.ProgName = R.ProgName;
+      Out.Spmd = std::move(R.Spmd);
+      return true;
+    } catch (const net::TransportError &E) {
+      std::cerr << "dhpfc: " << E.what() << "\n";
+      return false;
+    }
   }
-  ProgOut = Parsed.take();
-  core::CompilerDriver Driver(*ProgOut, compilerOptions(O), &Diags);
-  std::unique_ptr<core::CompileOutput> Out = Driver.run();
-  flushDiags(Diags); // warnings on success, errors on failure
-  if (!Out)
-    return nullptr;
+  core::CompileRequest R;
+  R.Name = Path;
+  R.Source = std::move(Text);
+  R.Opts = compilerOptions(O);
+  core::CompileSession Sess =
+      core::CompilerService::global().openSession("dhpfc");
+  std::shared_ptr<const core::CompileArtifact> A = Sess.compile(R);
+  if (!A->DiagText.empty())
+    std::cerr << A->DiagText;
+  if (!A->Ok)
+    return false;
   if (O.Stats) {
-    std::cout << "compiled '" << ProgOut->name() << "' (" << Path << ")\n";
-    printCompileStats(*Out);
+    std::cout << "compiled '" << A->ProgName << "' (" << Path << ")\n"
+              << A->StatsText;
   }
-  return Out;
+  Out.ProgName = A->ProgName;
+  Out.Spmd = A->Spmd;
+  return true;
+}
+
+/// Reparses a serialized program for in-process execution, wiring the
+/// runtime contiguity check the serialized form cannot carry.
+std::unique_ptr<spmd::SpmdProgram> reparseSpmd(const std::string &Text,
+                                               const std::string &Name) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<spmd::SpmdProgram> SP =
+      spmd::parseSpmdProgram(Text, Diags, Name);
+  flushDiags(Diags);
+  if (SP)
+    SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
+  return SP;
 }
 
 bool parseEngine(const std::string &S, spmd::EngineKind &Out) {
@@ -588,36 +643,39 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
   }
   // Accept either a serialized .spmd or an .hpf source; the latter is
   // compiled here and serialized to a temp file the rank processes load.
+  // The guard is armed the moment the temp file exists, so every return
+  // below — parse failure, session failure, launch failure — removes it.
+  struct TempFileGuard {
+    std::string Path;
+    ~TempFileGuard() {
+      if (!Path.empty())
+        ::unlink(Path.c_str());
+    }
+  } Guard;
   std::string SpmdPath = O.Input;
-  std::string TempSpmd;
   std::unique_ptr<spmd::SpmdProgram> SP;
-  std::unique_ptr<hpf::Program> SrcProg;
-  std::unique_ptr<core::CompileOutput> Compiled;
   if (O.Input.size() > 4 &&
       O.Input.compare(O.Input.size() - 4, 4, ".hpf") == 0) {
-    Compiled = compileHpfFile(O.Input, O, SrcProg);
-    if (!Compiled)
+    CompiledUnit CU;
+    if (!compileViaService(O.Input, O, CU))
       return 1;
-    std::string Ser = spmd::serializeSpmdProgram(Compiled->Program);
     const char *Tmp = std::getenv("TMPDIR");
-    TempSpmd = std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/dhpfc_launch_" +
-               std::to_string(static_cast<long>(getpid())) + ".spmd";
-    if (!writeFile(TempSpmd, Ser, Err)) {
+    std::string TempSpmd = std::string(Tmp && *Tmp ? Tmp : "/tmp") +
+                           "/dhpfc_launch_" +
+                           std::to_string(static_cast<long>(getpid())) +
+                           ".spmd";
+    if (!writeFile(TempSpmd, CU.Spmd, Err)) {
       std::cerr << "dhpfc: " << Err << "\n";
       return 1;
     }
+    Guard.Path = TempSpmd;
     SpmdPath = TempSpmd;
-    DiagnosticEngine Diags;
-    SP = spmd::parseSpmdProgram(Ser, Diags, SpmdPath);
-    flushDiags(Diags);
+    SP = reparseSpmd(CU.Spmd, SpmdPath);
   } else {
-    DiagnosticEngine Diags;
-    SP = spmd::parseSpmdProgram(Text, Diags, O.Input);
-    flushDiags(Diags);
+    SP = reparseSpmd(Text, O.Input);
   }
   if (!SP)
     return 1;
-  SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
 
   std::optional<rt::Session> S =
       rt::resolveSession(*SP, sessionOptions(O), Err);
@@ -625,14 +683,6 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
     std::cerr << "dhpfc: " << Err << "\n";
     return 2;
   }
-
-  struct TempFileGuard {
-    std::string Path;
-    ~TempFileGuard() {
-      if (!Path.empty())
-        ::unlink(Path.c_str());
-    }
-  } Guard{TempSpmd};
 
   rt::LaunchOptions LO;
   LO.SpmdPath = SpmdPath;
@@ -701,13 +751,12 @@ std::string defaultOutputPath(const std::string &Input) {
 }
 
 int cmdCompile(const CliOptions &O) {
-  std::unique_ptr<hpf::Program> Prog;
-  std::unique_ptr<core::CompileOutput> Out = compileHpfFile(O.Input, O, Prog);
-  if (!Out)
+  CompiledUnit CU;
+  if (!compileViaService(O.Input, O, CU))
     return 1;
   std::string Path = O.Output.empty() ? defaultOutputPath(O.Input) : O.Output;
   std::string Err;
-  if (!writeFile(Path, spmd::serializeSpmdProgram(Out->Program), Err)) {
+  if (!writeFile(Path, CU.Spmd, Err)) {
     std::cerr << "dhpfc: " << Err << "\n";
     return 1;
   }
@@ -722,38 +771,50 @@ int cmdRun(const CliOptions &O) {
     std::cerr << "dhpfc: " << Err << "\n";
     return 1;
   }
-  DiagnosticEngine Diags;
-  std::unique_ptr<spmd::SpmdProgram> SP =
-      spmd::parseSpmdProgram(Text, Diags, O.Input);
-  flushDiags(Diags);
+  if (!O.Server.empty()) {
+    // Remote run: the daemon executes and returns the engine-independent
+    // summary; the verdicts inside it drive the exit code.
+    std::unique_ptr<net::MsgStream> Stream = connectServer(O);
+    if (!Stream)
+      return 1;
+    try {
+      rt::DaemonRunResult R =
+          rt::daemonRun(*Stream, Text, sessionOptions(O), !O.NoCheck);
+      if (!R.Ok) {
+        std::cerr << "dhpfc: daemon run failed: " << R.Error << "\n";
+        return 1;
+      }
+      std::cout << "ran on daemon " << O.Server << ":\n" << R.Summary;
+      bool Invalid = R.Summary.find("valid 0\n") != std::string::npos;
+      bool CheckFailed =
+          R.Summary.find("check failed:") != std::string::npos;
+      return (Invalid || CheckFailed) ? 1 : 0;
+    } catch (const net::TransportError &E) {
+      std::cerr << "dhpfc: " << E.what() << "\n";
+      return 1;
+    }
+  }
+  std::unique_ptr<spmd::SpmdProgram> SP = reparseSpmd(Text, O.Input);
   if (!SP)
     return 1;
-  // The serialized form cannot carry the runtime contiguity check (a
-  // function pointer into the analysis library); re-wire it here.
-  SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
   return runProgram(*SP, O);
 }
 
 int cmdPipeline(const CliOptions &O) {
-  std::unique_ptr<hpf::Program> Prog;
-  std::unique_ptr<core::CompileOutput> Out = compileHpfFile(O.Input, O, Prog);
-  if (!Out)
+  CompiledUnit CU;
+  if (!compileViaService(O.Input, O, CU))
     return 1;
-  // Force the full serialization round trip so `pipeline` exercises the
-  // same path as compile-to-file + run-from-file.
-  std::string Text = spmd::serializeSpmdProgram(Out->Program);
-  DiagnosticEngine Diags;
+  // The service hands back the serialized form, so `pipeline` inherently
+  // exercises the same round trip as compile-to-file + run-from-file.
   std::unique_ptr<spmd::SpmdProgram> SP =
-      spmd::parseSpmdProgram(Text, Diags, O.Input + ":spmd");
-  flushDiags(Diags);
+      reparseSpmd(CU.Spmd, O.Input + ":spmd");
   if (!SP) {
     std::cerr << "dhpfc: internal error: serialized program failed to "
                  "reparse\n";
     return 1;
   }
-  SP->InPlaceRuntimeCheck = &core::checkInPlaceAtRuntime;
-  std::cout << "pipeline: compiled '" << Prog->name() << "', round-tripped "
-            << Text.size() << " bytes\n";
+  std::cout << "pipeline: compiled '" << CU.ProgName << "', round-tripped "
+            << CU.Spmd.size() << " bytes\n";
   return runProgram(*SP, O);
 }
 
@@ -778,6 +839,33 @@ int cmdList() {
   for (const apps::RegistryEntry &E : apps::appRegistry())
     std::cout << E.Name << "  -  " << E.Summary << "\n";
   return 0;
+}
+
+int cmdDaemonStats(const CliOptions &O) {
+  std::unique_ptr<net::MsgStream> Stream = connectServer(O);
+  if (!Stream)
+    return 1;
+  try {
+    std::cout << rt::daemonStats(*Stream);
+    return 0;
+  } catch (const net::TransportError &E) {
+    std::cerr << "dhpfc: " << E.what() << "\n";
+    return 1;
+  }
+}
+
+int cmdShutdown(const CliOptions &O) {
+  std::unique_ptr<net::MsgStream> Stream = connectServer(O);
+  if (!Stream)
+    return 1;
+  try {
+    rt::daemonShutdown(*Stream);
+    std::cout << "daemon on " << O.Server << " stopping\n";
+    return 0;
+  } catch (const net::TransportError &E) {
+    std::cerr << "dhpfc: " << E.what() << "\n";
+    return 1;
+  }
 }
 
 } // namespace
@@ -813,6 +901,13 @@ int dispatch(const std::string &Cmd, const CliOptions &O, const char *Argv0) {
     return cmdList();
   if (Cmd == "export")
     return cmdExport(O);
+  if (Cmd == "stats" || Cmd == "shutdown") {
+    if (O.Server.empty()) {
+      std::cerr << "dhpfc: " << Cmd << " requires --server=<socket>\n";
+      return 2;
+    }
+    return Cmd == "stats" ? cmdDaemonStats(O) : cmdShutdown(O);
+  }
   if (O.Input.empty()) {
     std::cerr << "dhpfc: " << Cmd << " requires an input file\n";
     return 2;
