@@ -14,7 +14,10 @@
 //
 // Speedups are relative to the 1-processor simulated run, as in the paper
 // for the small sizes. Absolute times are simulator artifacts; only the
-// curve shapes are meaningful.
+// curve shapes are meaningful. Alongside each speedup the table reports
+// the measured message and byte counters — the communication volumes the
+// placement cost model prices — and --out= writes the whole figure as
+// JSON for the committed reference.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,9 +36,16 @@ using namespace dhpf::spmd;
 
 namespace {
 
+struct Point {
+  int Procs = 0;
+  double Speedup = 0;
+  uint64_t Messages = 0;
+  uint64_t Bytes = 0;
+};
+
 struct Series {
   std::string Label;
-  std::vector<std::pair<int, double>> Speedups; // (procs, speedup)
+  std::vector<Point> Points;
 };
 
 /// Runs one app across processor counts; Shape(p) gives the grid.
@@ -65,7 +75,7 @@ Series runSeries(AppInstance App, const std::string &Label,
     }
     if (NP == 1)
       T1 = RR.ElapsedSeconds;
-    S.Speedups.push_back({NP, T1 / RR.ElapsedSeconds});
+    S.Points.push_back({NP, T1 / RR.ElapsedSeconds, RR.Messages, RR.Bytes});
   }
   return S;
 }
@@ -74,24 +84,59 @@ void printFigure(const char *Title, const std::vector<Series> &Ss) {
   std::printf("\n%s\n", Title);
   std::printf("  %6s", "procs");
   for (const Series &S : Ss)
-    std::printf(" | %-22s", S.Label.c_str());
+    std::printf(" | %-38s", S.Label.c_str());
+  std::printf("\n  %6s", "");
+  for (size_t I = 0; I != Ss.size(); ++I)
+    std::printf(" | %8s %10s %18s", "speedup", "msgs", "bytes");
   std::printf("\n");
-  for (unsigned I = 0; I != Ss[0].Speedups.size(); ++I) {
-    std::printf("  %6d", Ss[0].Speedups[I].first);
+  for (unsigned I = 0; I != Ss[0].Points.size(); ++I) {
+    std::printf("  %6d", Ss[0].Points[I].Procs);
     for (const Series &S : Ss)
-      std::printf(" | %-22.2f", S.Speedups[I].second);
+      std::printf(" | %8.2f %10llu %18llu", S.Points[I].Speedup,
+                  static_cast<unsigned long long>(S.Points[I].Messages),
+                  static_cast<unsigned long long>(S.Points[I].Bytes));
     std::printf("\n");
   }
+}
+
+void writeJson(const char *Path, const std::vector<Series> &All) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    std::exit(1);
+  }
+  std::fprintf(F, "{\n  \"bench\": \"fig7_speedups\",\n  \"series\": [\n");
+  for (size_t S = 0; S != All.size(); ++S) {
+    std::fprintf(F, "    {\n      \"label\": \"%s\",\n      \"points\": [\n",
+                 All[S].Label.c_str());
+    for (size_t I = 0; I != All[S].Points.size(); ++I) {
+      const Point &P = All[S].Points[I];
+      std::fprintf(F,
+                   "        {\"procs\": %d, \"speedup\": %.4f, "
+                   "\"messages\": %llu, \"bytes\": %llu}%s\n",
+                   P.Procs, P.Speedup,
+                   static_cast<unsigned long long>(P.Messages),
+                   static_cast<unsigned long long>(P.Bytes),
+                   I + 1 != All[S].Points.size() ? "," : "");
+    }
+    std::fprintf(F, "      ]\n    }%s\n", S + 1 != All.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  // --code=tomcatv|erlebacher|jacobi|all
+  // --code=tomcatv|erlebacher|jacobi|all, --out=<json>
   std::string Code = "all";
-  for (int I = 1; I < argc; ++I)
+  const char *Out = nullptr;
+  for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--code=", 7) == 0)
       Code = argv[I] + 7;
+    else if (std::strncmp(argv[I], "--out=", 6) == 0)
+      Out = argv[I] + 6;
+  }
 
   std::vector<int> Procs = {1, 2, 4, 8, 16};
   auto Shape1D = [](int P) { return std::vector<int64_t>{P}; };
@@ -102,6 +147,7 @@ int main(int argc, char **argv) {
 
   std::printf("== Figure 7: speedups of compiled codes (simulated SP-2) ==\n");
 
+  std::vector<Series> All;
   if (Code == "all" || Code == "tomcatv") {
     // The paper's sizes: 514x514 (the SPEC size) and a smaller one whose
     // scaling is limited by the per-step reductions.
@@ -111,6 +157,7 @@ int main(int argc, char **argv) {
     Ss.push_back(runSeries(makeTomcatv(514, 4), "tomcatv 514x514", Procs,
                            Shape1D));
     printFigure("(a) TOMCATV speedups", Ss);
+    All.insert(All.end(), Ss.begin(), Ss.end());
   }
   if (Code == "all" || Code == "erlebacher") {
     std::vector<Series> Ss;
@@ -119,12 +166,18 @@ int main(int argc, char **argv) {
     Ss.push_back(runSeries(makeErlebacher(64, 2), "erlebacher 64^3", Procs,
                            Shape1D));
     printFigure("(b) ERLEBACHER speedups", Ss);
+    All.insert(All.end(), Ss.begin(), Ss.end());
   }
   if (Code == "all" || Code == "jacobi") {
     std::vector<Series> Ss;
     Ss.push_back(
         runSeries(makeJacobi(384, 5), "jacobi 384x384", Procs, Shape2x));
     printFigure("(c) JACOBI speedups", Ss);
+    All.insert(All.end(), Ss.begin(), Ss.end());
+  }
+  if (Out) {
+    writeJson(Out, All);
+    std::printf("\nwrote %s\n", Out);
   }
   return 0;
 }

@@ -6,14 +6,11 @@
 
 #include "net/Socket.h"
 
+#include "net/Stream.h"
+
 #include <cerrno>
-#include <chrono>
-#include <cstdlib>
 #include <cstring>
-#include <fcntl.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -22,35 +19,19 @@ using namespace dhpf::net;
 
 namespace {
 
-int64_t nowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 std::string sockPath(const std::string &Dir, unsigned Rank) {
   return Dir + "/rank" + std::to_string(Rank) + ".sock";
 }
 
 std::string errnoStr() { return std::strerror(errno); }
 
-void setNonBlocking(int Fd) {
-  int Flags = ::fcntl(Fd, F_GETFL, 0);
-  if (Flags >= 0)
-    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
-}
-
-/// Hello exchanged on connect: the frame magic plus the connector's rank.
-struct Hello {
-  uint32_t Magic;
-  uint32_t Rank;
-};
-
-class SocketTransport final : public Transport {
+/// Unix-domain wiring over the shared stream engine: rank r listens on
+/// `<dir>/rank<r>.sock`, dials every lower rank with retry-and-backoff,
+/// then accepts every higher rank.
+class SocketTransport final : public detail::StreamTransport {
 public:
   SocketTransport(unsigned Rank, unsigned NP, const SocketOptions &Opts)
-      : Transport(Rank, NP), Fds(NP, -1), Out(NP), OutOff(NP, 0),
-        In(NP), InOff(NP, 0) {
+      : StreamTransport(Rank, NP) {
     if (NP <= 1)
       return;
     int ConnectMs = Opts.ConnectTimeoutMs;
@@ -62,29 +43,10 @@ public:
     for (unsigned Q = 0; Q != Rank; ++Q)
       connectTo(Q, sockPath(Opts.MeshDir, Q), ConnectMs);
     acceptPeers(ConnectMs);
-    ::close(ListenFd);
-    ListenFd = -1;
-    for (unsigned Q = 0; Q != NP; ++Q)
-      if (Fds[Q] >= 0)
-        setNonBlocking(Fds[Q]);
-  }
-
-  ~SocketTransport() override {
-    for (int Fd : Fds)
-      if (Fd >= 0)
-        ::close(Fd);
-    if (ListenFd >= 0)
-      ::close(ListenFd);
+    finishWiring();
   }
 
 private:
-  int ListenFd = -1;
-  std::vector<int> Fds;                  ///< per-peer duplex stream
-  std::vector<std::vector<uint8_t>> Out; ///< unsent bytes per peer
-  std::vector<size_t> OutOff;            ///< consumed prefix of Out
-  std::vector<std::vector<uint8_t>> In;  ///< partial inbound stream
-  std::vector<size_t> InOff;             ///< consumed prefix of In
-
   void listenOn(const std::string &Path) {
     ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (ListenFd < 0)
@@ -115,14 +77,7 @@ private:
       std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
       if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
                     sizeof(Addr)) == 0) {
-        Hello H{FrameMagic, rank()};
-        if (::send(Fd, &H, sizeof(H), MSG_NOSIGNAL) !=
-            static_cast<ssize_t>(sizeof(H))) {
-          ::close(Fd);
-          throw TransportError(where() + ": hello to rank " +
-                               std::to_string(Q) + " failed: " + errnoStr());
-        }
-        Fds[Q] = Fd;
+        adoptConnected(Q, Fd);
         return;
       }
       int E = errno;
@@ -140,193 +95,6 @@ private:
       if (BackoffUs > 100000)
         BackoffUs = 100000;
     }
-  }
-
-  void acceptPeers(int TimeoutMs) {
-    unsigned Want = size() - 1 - rank();
-    int64_t Deadline = nowMs() + TimeoutMs;
-    while (Want != 0) {
-      int64_t Left = Deadline - nowMs();
-      if (Left <= 0)
-        throw TransportError(where() + ": timed out waiting for " +
-                             std::to_string(Want) +
-                             " higher rank(s) to connect");
-      pollfd P{ListenFd, POLLIN, 0};
-      if (::poll(&P, 1, static_cast<int>(Left < 100 ? Left : 100)) <= 0)
-        continue;
-      int Fd = ::accept(ListenFd, nullptr, nullptr);
-      if (Fd < 0)
-        continue;
-      Hello H{};
-      ssize_t N = ::recv(Fd, &H, sizeof(H), MSG_WAITALL);
-      if (N != static_cast<ssize_t>(sizeof(H)) || H.Magic != FrameMagic ||
-          H.Rank <= rank() || H.Rank >= size() || Fds[H.Rank] >= 0) {
-        ::close(Fd);
-        throw TransportError(where() +
-                             ": bad hello from a connecting peer");
-      }
-      Fds[H.Rank] = Fd;
-      --Want;
-    }
-  }
-
-  void noteWrite(size_t N, bool ComputeContext) {
-    if (ComputeContext)
-      Stats.BytesFlushedDuringCompute += N;
-  }
-
-  /// Flushes as much of peer \p Q's buffered output as the kernel takes.
-  bool drainOut(unsigned Q, bool ComputeContext) {
-    bool Any = false;
-    while (OutOff[Q] < Out[Q].size()) {
-      ssize_t N = ::send(Fds[Q], Out[Q].data() + OutOff[Q],
-                         Out[Q].size() - OutOff[Q], MSG_NOSIGNAL);
-      if (N > 0) {
-        OutOff[Q] += static_cast<size_t>(N);
-        noteWrite(static_cast<size_t>(N), ComputeContext);
-        Any = true;
-        continue;
-      }
-      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-        break;
-      markPeerDead(Q, "send failed: " + errnoStr());
-      break;
-    }
-    if (OutOff[Q] == Out[Q].size()) {
-      Out[Q].clear();
-      OutOff[Q] = 0;
-    } else if (OutOff[Q] > (1u << 20)) {
-      Out[Q].erase(Out[Q].begin(), Out[Q].begin() + OutOff[Q]);
-      OutOff[Q] = 0;
-    }
-    return Any;
-  }
-
-  void sendFrame(unsigned Dst, const ByteSpan *Parts, size_t NumParts,
-                 bool ComputeContext) override {
-    if (Fds[Dst] < 0)
-      throw TransportError(where() + ": send to dead rank " +
-                           std::to_string(Dst));
-    size_t Skip = 0;
-    if (Out[Dst].empty()) {
-      // Nothing queued: write straight from the caller's spans (for a
-      // proven-contiguous section this is array storage — zero copy).
-      std::vector<iovec> IoV(NumParts);
-      size_t Total = 0;
-      for (size_t I = 0; I != NumParts; ++I) {
-        IoV[I].iov_base = const_cast<void *>(Parts[I].Data);
-        IoV[I].iov_len = Parts[I].Len;
-        Total += Parts[I].Len;
-      }
-      msghdr Msg{};
-      Msg.msg_iov = IoV.data();
-      Msg.msg_iovlen = NumParts;
-      ssize_t N = ::sendmsg(Fds[Dst], &Msg, MSG_NOSIGNAL);
-      if (N > 0) {
-        Skip = static_cast<size_t>(N);
-        noteWrite(Skip, ComputeContext);
-        if (Skip == Total)
-          return;
-      } else if (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
-        markPeerDead(Dst, "send failed: " + errnoStr());
-        throw TransportError(where() + ": send to rank " +
-                             std::to_string(Dst) + " failed: " + errnoStr());
-      }
-    }
-    // Buffer the remainder; progress()/flush() finishes it.
-    for (size_t I = 0; I != NumParts; ++I) {
-      const uint8_t *D = static_cast<const uint8_t *>(Parts[I].Data);
-      size_t L = Parts[I].Len;
-      if (Skip >= L) {
-        Skip -= L;
-        continue;
-      }
-      Out[Dst].insert(Out[Dst].end(), D + Skip, D + L);
-      Skip = 0;
-    }
-  }
-
-  /// Extracts complete frames from peer \p Q's inbound stream.
-  void parseIn(unsigned Q) {
-    std::vector<uint8_t> &B = In[Q];
-    for (;;) {
-      size_t Have = B.size() - InOff[Q];
-      if (Have < FrameHeaderBytes)
-        break;
-      FrameHeader H = decodeHeader(B.data() + InOff[Q]);
-      if (H.Magic != FrameMagic)
-        throw TransportError(where() + ": garbled frame stream from rank " +
-                             std::to_string(Q) +
-                             " (bad magic — prior frame truncated?)");
-      if (H.PayloadLen > MaxFramePayload)
-        throw TransportError(where() + ": garbled frame length from rank " +
-                             std::to_string(Q));
-      if (Have < FrameHeaderBytes + H.PayloadLen)
-        break;
-      deliverFrame(Q, B.data() + InOff[Q], FrameHeaderBytes + H.PayloadLen);
-      InOff[Q] += FrameHeaderBytes + H.PayloadLen;
-    }
-    if (InOff[Q] == B.size()) {
-      B.clear();
-      InOff[Q] = 0;
-    } else if (InOff[Q] > (1u << 20)) {
-      B.erase(B.begin(), B.begin() + InOff[Q]);
-      InOff[Q] = 0;
-    }
-  }
-
-  bool pump(int TimeoutMs, bool ComputeContext) override {
-    std::vector<pollfd> PFds;
-    std::vector<unsigned> Who;
-    for (unsigned Q = 0; Q != size(); ++Q) {
-      if (Fds[Q] < 0)
-        continue;
-      short Ev = POLLIN;
-      if (OutOff[Q] < Out[Q].size())
-        Ev |= POLLOUT;
-      PFds.push_back({Fds[Q], Ev, 0});
-      Who.push_back(Q);
-    }
-    if (PFds.empty())
-      return false;
-    int R = ::poll(PFds.data(), PFds.size(), TimeoutMs);
-    if (R <= 0)
-      return false;
-    bool Any = false;
-    char Buf[65536];
-    for (size_t I = 0; I != PFds.size(); ++I) {
-      unsigned Q = Who[I];
-      if (PFds[I].revents & POLLOUT)
-        Any |= drainOut(Q, ComputeContext);
-      if (PFds[I].revents & (POLLIN | POLLHUP | POLLERR)) {
-        for (;;) {
-          ssize_t N = ::recv(Fds[Q], Buf, sizeof(Buf), 0);
-          if (N > 0) {
-            In[Q].insert(In[Q].end(), Buf, Buf + N);
-            Any = true;
-            continue;
-          }
-          if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-            break;
-          // EOF or a hard error: the peer is gone. Whether that is fatal
-          // is decided by whoever ends up waiting on this rank.
-          markPeerDead(Q, N == 0 ? "connection closed (EOF)"
-                                 : "recv failed: " + errnoStr());
-          ::close(Fds[Q]);
-          Fds[Q] = -1;
-          break;
-        }
-        parseIn(Q);
-      }
-    }
-    return Any;
-  }
-
-  bool allFlushed() const override {
-    for (unsigned Q = 0; Q != size(); ++Q)
-      if (OutOff[Q] < Out[Q].size())
-        return false;
-    return true;
   }
 };
 

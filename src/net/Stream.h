@@ -1,0 +1,80 @@
+//===- net/Stream.h - Shared fd-stream transport engine ------------------===//
+//
+// Part of dhpf-sets (PLDI 1998 dHPF reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-moving engine shared by every file-descriptor stream mesh
+/// (Unix-domain sockets and TCP): per-peer duplex fds with buffered
+/// nonblocking sends, a poll()-based progress pump, frame extraction, and
+/// the connect-lower/accept-higher wiring protocol (a hello frame carries
+/// the connector's rank). Backends contribute only address handling —
+/// creating the listening socket and dialing a peer — so the TCP mesh
+/// inherits the exact send/receive/validation behaviour the socket mesh is
+/// differentially tested against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DHPF_NET_STREAM_H
+#define DHPF_NET_STREAM_H
+
+#include "net/Net.h"
+
+namespace dhpf {
+namespace net {
+namespace detail {
+
+/// Transport over one stream fd per peer. Subclasses wire the mesh in
+/// their constructor: create a listening socket into ListenFd, dial every
+/// lower rank and hand the fd to adoptConnected(), then call
+/// acceptPeers() and finishWiring().
+class StreamTransport : public Transport {
+public:
+  ~StreamTransport() override;
+
+protected:
+  StreamTransport(unsigned Rank, unsigned NP);
+
+  /// Milliseconds on the steady clock, for connect/accept deadlines.
+  static int64_t nowMs();
+  static void setNonBlocking(int Fd);
+
+  int ListenFd = -1; ///< owned; closed by finishWiring()/destructor
+
+  /// Records \p Fd as the duplex stream to peer \p Q and sends the hello
+  /// identifying this rank. Throws TransportError if the hello cannot be
+  /// written.
+  void adoptConnected(unsigned Q, int Fd);
+
+  /// Accepts one connection per higher rank on ListenFd, validating each
+  /// hello, until every higher rank is wired or \p TimeoutMs expires.
+  void acceptPeers(int TimeoutMs);
+
+  /// Ends the wiring phase: closes ListenFd and switches every peer fd
+  /// nonblocking for the pump.
+  void finishWiring();
+
+  // Transport hooks — the engine proper.
+  void sendFrame(unsigned Dst, const ByteSpan *Parts, size_t NumParts,
+                 bool ComputeContext) override;
+  bool pump(int TimeoutMs, bool ComputeContext) override;
+  bool allFlushed() const override;
+
+private:
+  std::vector<int> Fds;                  ///< per-peer duplex stream
+  std::vector<std::vector<uint8_t>> Out; ///< unsent bytes per peer
+  std::vector<size_t> OutOff;            ///< consumed prefix of Out
+  std::vector<std::vector<uint8_t>> In;  ///< partial inbound stream
+  std::vector<size_t> InOff;             ///< consumed prefix of In
+
+  void noteWrite(size_t N, bool ComputeContext);
+  bool drainOut(unsigned Q, bool ComputeContext);
+  void parseIn(unsigned Q);
+};
+
+} // namespace detail
+} // namespace net
+} // namespace dhpf
+
+#endif // DHPF_NET_STREAM_H

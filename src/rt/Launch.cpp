@@ -6,6 +6,7 @@
 
 #include "rt/Launch.h"
 
+#include "net/Tcp.h"
 #include "spmd/Layout.h"
 
 #include <cerrno>
@@ -144,6 +145,21 @@ LaunchResult rt::launchRanks(const spmd::SpmdProgram &SP, const Session &S,
   // Every rank re-resolves the session from identical explicit flags.
   std::vector<std::string> Common = {Opts.RtBinary, Opts.SpmdPath,
                                      "--mesh", Dir};
+  if (!Opts.Hosts.empty()) {
+    std::string SpecPath = Opts.Hosts;
+    if (Opts.Hosts == "auto") {
+      // Single-host TCP: reserve P distinct loopback ports and leave the
+      // spec in the mesh directory, cleaned up with everything else.
+      SpecPath = Dir + "/hosts.spec";
+      try {
+        net::writeLocalRankSpec(SpecPath, NP);
+      } catch (const net::TransportError &E) {
+        LR.Error = E.what();
+        return LR;
+      }
+    }
+    Common.push_back("--hosts=" + SpecPath);
+  }
   if (!S.Shape.empty()) {
     std::string Sh;
     for (size_t D = 0; D != S.Shape.size(); ++D)

@@ -35,6 +35,12 @@ struct LaunchOptions {
   /// (lane pid = rank+1, via DHPF_TRACE) and the launcher collects the
   /// per-rank documents into LaunchResult::RankTraces for merging.
   bool Trace = false;
+  /// TCP transport instead of the Unix-socket mesh. Empty = sockets;
+  /// "auto" = reserve P loopback ports and write a rank spec into the
+  /// mesh directory (single-host TCP, no file needed); anything else is
+  /// the path of a host:port-per-rank spec file, which lets the rank
+  /// processes span machines when started remotely with the same flags.
+  std::string Hosts;
 };
 
 struct LaunchResult {

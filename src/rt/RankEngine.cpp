@@ -84,6 +84,7 @@ RankEngine::RankEngine(const SpmdProgram &ProgIn, RankConfig ConfigIn,
   if (T.rank() != Config.Rank)
     throw net::TransportError("transport rank mismatch");
   Arrays = buildArrayStores(Prog, Config.Run, Layout);
+  Coll = coll::makeCollective(coll::algoFromEnv(), Layout.NumProcs);
   Env = initialEnv(Prog, Layout, Config.Rank);
   EventInPlace =
       resolveEventInPlace(Prog, Layout, Result.InPlaceRuntimeUpgrades);
@@ -529,51 +530,16 @@ void RankEngine::execRecv(const SpmdNode &N) {
 
 void RankEngine::execReduce(const SpmdNode &N) {
   obs::TraceSpan Span(Config.Trace, "reduce:" + N.RedName, "rt.comm");
-  unsigned NP = Layout.NumProcs, P = Config.Rank;
+  unsigned NP = Layout.NumProcs;
   uint64_t Tag = ReduceTagBase + ReduceSeq++;
-  double Own = Accums[N.RedName];
-  double Combined;
-  if (NP == 1) {
-    Combined = N.RedOp == SpmdNode::ReduceOp::Max
-                   ? std::max(-std::numeric_limits<double>::infinity(), Own)
-                   : Own;
-  } else if (P == 0) {
-    // Gather; combine in rank order 0..NP-1, exactly the in-process
-    // combine order, so double rounding is bit-identical.
-    Combined = N.RedOp == SpmdNode::ReduceOp::Max
-                   ? -std::numeric_limits<double>::infinity()
-                   : 0.0;
-    Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, Own)
-                                                  : Combined + Own;
-    for (unsigned Q = 1; Q != NP; ++Q) {
-      std::vector<uint8_t> Pay = T.recv(Q, Tag);
-      if (Pay.size() != 8)
-        throw net::TransportError("rank 0: malformed reduce contribution "
-                                  "from rank " +
-                                  std::to_string(Q));
-      uint64_t Bits;
-      std::memcpy(&Bits, Pay.data(), 8);
-      double V = doubleOf(Bits);
-      Combined = N.RedOp == SpmdNode::ReduceOp::Max ? std::max(Combined, V)
-                                                    : Combined + V;
-    }
-    uint64_t Bits = bitsOf(Combined);
-    for (unsigned Q = 1; Q != NP; ++Q) {
-      net::ByteSpan S{&Bits, 8};
-      T.post(Q, Tag, &S, 1);
-    }
-  } else {
-    uint64_t Bits = bitsOf(Own);
-    net::ByteSpan S{&Bits, 8};
-    T.post(0, Tag, &S, 1);
-    std::vector<uint8_t> Pay = T.recv(0, Tag);
-    if (Pay.size() != 8)
-      throw net::TransportError("rank " + std::to_string(P) +
-                                ": malformed reduce result from rank 0");
-    uint64_t Got;
-    std::memcpy(&Got, Pay.data(), 8);
-    Combined = doubleOf(Got);
-  }
+  // The collective gathers the raw per-rank contributions under the chosen
+  // schedule (DHPF_COLL) and combines them locally from the identity in
+  // rank order 0..NP-1 — exactly the in-process combine, so double
+  // rounding is bit-identical regardless of the algorithm.
+  double Combined = Coll->allreduce(
+      T, Accums[N.RedName],
+      N.RedOp == SpmdNode::ReduceOp::Max ? coll::Op::Max : coll::Op::Sum,
+      Tag, CollSt);
   Accums[N.RedName] = Combined;
   Result.FinalAccums[N.RedName] = Combined;
   // Logical accounting mirrors sim::Machine::allReduce: P messages total
@@ -663,6 +629,8 @@ RunResult RankEngine::run() {
   Result.ElapsedSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  Result.CollMessages = CollSt.Messages;
+  Result.CollBytes = CollSt.Bytes;
   const net::TransportStats &St = T.stats();
   Result.OverlapRatio =
       St.WireBytesSent

@@ -23,15 +23,19 @@
 /// the injected runtime checks — is posted zero-copy straight from array
 /// storage.
 ///
-/// Reductions gather to rank 0, combine in rank order 0..P-1 (the
-/// in-process combine order, so double rounding is bit-identical), and
-/// broadcast the result bits.
+/// Reductions route through the src/coll collective library
+/// (DHPF_COLL=naive|ring|rdbl|tree|auto): every schedule moves the raw
+/// per-rank contributions and combines them locally in rank order 0..P-1
+/// (the in-process combine order), so double rounding is bit-identical
+/// regardless of the algorithm; only the physical CollMessages/CollBytes
+/// counters differ.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DHPF_RT_RANKENGINE_H
 #define DHPF_RT_RANKENGINE_H
 
+#include "coll/Collective.h"
 #include "net/Net.h"
 #include "obs/Trace.h"
 #include "spmd/Interp.h"
@@ -100,6 +104,11 @@ private:
   std::map<std::string, std::unordered_map<int64_t, double>> Pending;
   std::vector<char> EventInPlace;
   uint64_t ReduceSeq = 0;  ///< reduce instance counter (tag sync)
+  /// The reduction schedule (DHPF_COLL; auto resolves per mesh size).
+  /// Every algorithm combines in canonical rank order, so the choice
+  /// changes only CollMessages/CollBytes, never result bits.
+  std::unique_ptr<coll::Collective> Coll;
+  coll::CollStats CollSt;
   uint64_t StmtsSinceProgress = 0;
   uint64_t ProgressCalls = 0; ///< flushed to rt.comm.progress_calls
 

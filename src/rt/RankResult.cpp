@@ -86,7 +86,8 @@ std::string rt::serializeRankDump(const RankDump &D) {
   OS << "stat messages " << D.R.Messages << " bytes " << D.R.Bytes
      << " span " << D.R.SpanCopies << " packed " << D.R.PackedCopies
      << " stmts " << D.R.StmtInstances << " upgrades "
-     << D.R.InPlaceRuntimeUpgrades << "\n";
+     << D.R.InPlaceRuntimeUpgrades << " collmsgs " << D.R.CollMessages
+     << " collbytes " << D.R.CollBytes << "\n";
   OS << "stat elapsed " << hex64(bitsOf(D.R.ElapsedSeconds))
      << " overlapnum " << D.OverlapNum << " overlapden " << D.OverlapDen
      << "\n";
@@ -169,6 +170,10 @@ bool rt::parseRankDump(const std::string &Text, RankDump &Out,
           Out.R.StmtInstances = V;
         else if (Key == "upgrades")
           Out.R.InPlaceRuntimeUpgrades = static_cast<unsigned>(V);
+        else if (Key == "collmsgs")
+          Out.R.CollMessages = V;
+        else if (Key == "collbytes")
+          Out.R.CollBytes = V;
         else if (Key == "overlapnum")
           Out.OverlapNum = V;
         else if (Key == "overlapden")
@@ -250,6 +255,11 @@ bool rt::mergeRankDumps(const SpmdProgram &SP, const RunConfig &Config,
     Out.R.SpanCopies += D.R.SpanCopies;
     Out.R.PackedCopies += D.R.PackedCopies;
     Out.R.StmtInstances += D.R.StmtInstances;
+    Out.R.CollMessages += D.R.CollMessages;
+    Out.R.CollBytes += D.R.CollBytes;
+    Out.MaxRankCollMessages =
+        std::max(Out.MaxRankCollMessages, D.R.CollMessages);
+    Out.MaxRankCollBytes = std::max(Out.MaxRankCollBytes, D.R.CollBytes);
     Out.R.ElapsedSeconds =
         std::max(Out.R.ElapsedSeconds, D.R.ElapsedSeconds);
     ONum += D.OverlapNum;

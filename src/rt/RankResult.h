@@ -57,6 +57,12 @@ bool parseRankDump(const std::string &Text, RankDump &Out, std::string &Err);
 struct MergedRun {
   spmd::RunResult R;
   std::map<std::string, spmd::ArrayStore> Arrays;
+  /// Bottleneck view of the collective schedule: the largest per-rank
+  /// CollMessages/CollBytes (R.CollMessages/CollBytes hold the sums).
+  /// This is where recursive doubling beats the naive gather — the naive
+  /// root moves 2(P-1) frames while rdbl's worst rank moves 2·ceil(lg P).
+  uint64_t MaxRankCollMessages = 0;
+  uint64_t MaxRankCollBytes = 0;
 };
 
 /// Merges one dump per rank. False (with \p Err) when dumps are missing,

@@ -17,12 +17,14 @@
 #include "net/Loopback.h"
 #include "net/Net.h"
 #include "net/Socket.h"
+#include "net/Tcp.h"
 
 #include "gtest/gtest.h"
 
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <set>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -108,6 +110,36 @@ std::vector<std::string> runSocketRanks(unsigned NP, const RankBody &Body) {
   for (auto &T : Ts)
     T.join();
   removeMeshDir(Dir, NP);
+  return Errs;
+}
+
+std::vector<std::string> runTcpRanks(unsigned NP, const RankBody &Body) {
+  std::string Dir = tempMeshDir();
+  std::string SpecPath = Dir + "/hosts.spec";
+  std::vector<std::string> Errs(NP);
+  try {
+    writeLocalRankSpec(SpecPath, NP);
+  } catch (const std::exception &E) {
+    Errs[0] = E.what();
+    rmdir(Dir.c_str());
+    return Errs;
+  }
+  std::vector<std::thread> Ts;
+  for (unsigned R = 0; R != NP; ++R)
+    Ts.emplace_back([&, R] {
+      try {
+        TcpOptions Opts;
+        Opts.HostsPath = SpecPath;
+        auto T = connectTcpMesh(R, NP, Opts);
+        Body(*T);
+      } catch (const std::exception &E) {
+        Errs[R] = E.what();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  unlink(SpecPath.c_str());
+  rmdir(Dir.c_str());
   return Errs;
 }
 
@@ -217,6 +249,7 @@ RankBody ringBody(unsigned NP) {
 
 TEST(NetLoopback, RingExchange) { expectClean(runLoopbackRanks(4, ringBody(4))); }
 TEST(NetSocket, RingExchange) { expectClean(runSocketRanks(4, ringBody(4))); }
+TEST(NetTcp, RingExchange) { expectClean(runTcpRanks(4, ringBody(4))); }
 
 /// Same-tag messages must arrive in posting order (per-stream FIFO).
 RankBody fifoBody() {
@@ -237,6 +270,7 @@ RankBody fifoBody() {
 
 TEST(NetLoopback, FifoPerStream) { expectClean(runLoopbackRanks(2, fifoBody())); }
 TEST(NetSocket, FifoPerStream) { expectClean(runSocketRanks(2, fifoBody())); }
+TEST(NetTcp, FifoPerStream) { expectClean(runTcpRanks(2, fifoBody())); }
 
 /// Large multi-frame traffic through the nonblocking buffering path: the
 /// kernel cannot take 4 MB immediately, so progress()/flush() must drain.
@@ -265,6 +299,9 @@ TEST(NetLoopback, BulkTransferSpanReusable) {
 }
 TEST(NetSocket, BulkTransferSpanReusable) {
   expectClean(runSocketRanks(2, bulkBody()));
+}
+TEST(NetTcp, BulkTransferSpanReusable) {
+  expectClean(runTcpRanks(2, bulkBody()));
 }
 
 //===----------------------------------------------------------------------===//
@@ -312,6 +349,12 @@ TEST(NetFaultInjection, DuplicateLoopback) {
 }
 TEST(NetFaultInjection, DuplicateSocket) {
   checkFaultDiagnosed("dup=1,seed=2", "duplicated", runSocketRanks);
+}
+TEST(NetFaultInjection, CorruptTcp) {
+  checkFaultDiagnosed("corrupt=1,seed=1", "checksum", runTcpRanks);
+}
+TEST(NetFaultInjection, DuplicateTcp) {
+  checkFaultDiagnosed("dup=1,seed=2", "duplicated", runTcpRanks);
 }
 TEST(NetFaultInjection, DropLoopback) {
   // A dropped frame surfaces as a sequence gap (a later frame arrives) or
@@ -376,6 +419,101 @@ void checkPeerDeath(std::vector<std::string> (*Run)(unsigned,
 
 TEST(NetPeerDeath, Loopback) { checkPeerDeath(runLoopbackRanks); }
 TEST(NetPeerDeath, Socket) { checkPeerDeath(runSocketRanks); }
+TEST(NetPeerDeath, Tcp) { checkPeerDeath(runTcpRanks); }
+
+TEST(NetFaultInjection, TruncateTcp) {
+  // Same stream-desynchronization contract as the Unix-socket backend.
+  ScopedEnv F("DHPF_NET_FAULT", "trunc=1,seed=4");
+  ScopedEnv W("DHPF_NET_TIMEOUT_MS", "400");
+  std::vector<std::string> Errs = runTcpRanks(2, [](Transport &T) {
+    if (T.rank() == 0) {
+      std::vector<uint8_t> P(64, 0xab);
+      post1(T, 1, 7, P);
+      T.flush();
+      try {
+        T.recv(1, 99);
+      } catch (const TransportError &) {
+      }
+    } else {
+      T.recv(0, 7);
+    }
+  });
+  EXPECT_NE(Errs[1], "");
+  EXPECT_NE(Errs[1].find("rank"), std::string::npos) << Errs[1];
+}
+
+//===----------------------------------------------------------------------===//
+// TCP rank-spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(NetTcpSpec, ParsesHostsCommentsAndWhitespace) {
+  std::vector<HostPort> S = parseRankSpec("# header comment\n"
+                                          "  node0:5000  # rank 0\n"
+                                          "\n"
+                                          "10.0.0.7:5001\t\n"
+                                          "node2.example.com:65535\n",
+                                          "test");
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0].Host, "node0");
+  EXPECT_EQ(S[0].Port, 5000);
+  EXPECT_EQ(S[1].Host, "10.0.0.7");
+  EXPECT_EQ(S[1].Port, 5001);
+  EXPECT_EQ(S[2].Host, "node2.example.com");
+  EXPECT_EQ(S[2].Port, 65535);
+}
+
+TEST(NetTcpSpec, MalformedLinesDiagnosedByLine) {
+  const char *Bad[] = {"nodeport\n", ":5000\n", "node:\n", "node:0\n",
+                       "node:70000\n", "node:12x\n", "# only comments\n"};
+  for (const char *Text : Bad) {
+    try {
+      parseRankSpec(Text, "spec.txt");
+      FAIL() << "accepted: " << Text;
+    } catch (const TransportError &E) {
+      EXPECT_NE(std::string(E.what()).find("spec.txt"), std::string::npos)
+          << E.what();
+    }
+  }
+}
+
+TEST(NetTcpSpec, LocalSpecReservesDistinctPorts) {
+  std::string Dir = tempMeshDir();
+  std::string Path = Dir + "/hosts.spec";
+  std::vector<HostPort> Spec = writeLocalRankSpec(Path, 6);
+  ASSERT_EQ(Spec.size(), 6u);
+  std::set<uint16_t> Ports;
+  for (const HostPort &HP : Spec) {
+    EXPECT_EQ(HP.Host, "127.0.0.1");
+    Ports.insert(HP.Port);
+  }
+  EXPECT_EQ(Ports.size(), 6u);
+  // The file round-trips through the parser to the same endpoints.
+  std::vector<HostPort> Read = loadRankSpec(Path);
+  ASSERT_EQ(Read.size(), Spec.size());
+  for (size_t I = 0; I != Spec.size(); ++I) {
+    EXPECT_EQ(Read[I].Host, Spec[I].Host);
+    EXPECT_EQ(Read[I].Port, Spec[I].Port);
+  }
+  unlink(Path.c_str());
+  rmdir(Dir.c_str());
+}
+
+TEST(NetTcpSpec, MeshRejectsWrongRankCount) {
+  std::string Dir = tempMeshDir();
+  std::string Path = Dir + "/hosts.spec";
+  writeLocalRankSpec(Path, 2);
+  try {
+    TcpOptions Opts;
+    Opts.HostsPath = Path;
+    connectTcpMesh(0, 4, Opts);
+    FAIL() << "2-endpoint spec accepted for a 4-rank mesh";
+  } catch (const TransportError &E) {
+    EXPECT_NE(std::string(E.what()).find("4-rank"), std::string::npos)
+        << E.what();
+  }
+  unlink(Path.c_str());
+  rmdir(Dir.c_str());
+}
 
 //===----------------------------------------------------------------------===//
 // Environment timeout parsing

@@ -29,6 +29,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <string>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -179,6 +181,44 @@ TEST(RtExec, ErlebacherP1) { checkApp(subjects()[2], subjects()[2].Shape1); }
 TEST(RtExec, ErlebacherP4) { checkApp(subjects()[2], subjects()[2].Shape4); }
 TEST(RtExec, GaussP1) { checkApp(subjects()[3], subjects()[3].Shape1); }
 TEST(RtExec, GaussP4) { checkApp(subjects()[3], subjects()[3].Shape4); }
+
+/// Every collective algorithm must leave the distributed run bit-identical
+/// to the in-process engine at P=8 — the algorithms differ only in their
+/// physical frame schedule, which the merged CollStats counters expose:
+/// recursive doubling must cut the bottleneck rank's frame count against
+/// the naive gather/broadcast.
+TEST(RtExec, CollectiveAlgorithmsBitIdenticalAtP8) {
+  Subject S = std::move(subjects()[0]); // jacobi on a 2x4 mesh
+  auto Compiled = core::compileProgram(*S.App.Prog);
+  ASSERT_TRUE(Compiled);
+  const spmd::SpmdProgram &SP = Compiled->Program;
+  spmd::RunConfig RC;
+  RC.ProcExtents[S.App.ProcArrayName] = {2, 4};
+
+  spmd::Interpreter I(SP, RC);
+  S.App.Setup(I);
+  spmd::RunResult Ref = I.run();
+  ASSERT_TRUE(Ref.Valid);
+
+  std::map<std::string, uint64_t> MaxRankFrames;
+  for (const char *Algo : {"naive", "ring", "rdbl", "tree"}) {
+    setenv("DHPF_COLL", Algo, 1);
+    rt::MergedRun Loop = runDistributed(SP, S.App, RC, Mesh::Loopback);
+    expectBitIdentical(Loop, Ref, I);
+    rt::MergedRun Sock = runDistributed(SP, S.App, RC, Mesh::Socket);
+    expectBitIdentical(Sock, Ref, I);
+    // The physical schedule is a property of the algorithm, not the
+    // transport it runs over.
+    EXPECT_EQ(Loop.R.CollMessages, Sock.R.CollMessages) << Algo;
+    EXPECT_EQ(Loop.R.CollBytes, Sock.R.CollBytes) << Algo;
+    EXPECT_EQ(Loop.MaxRankCollMessages, Sock.MaxRankCollMessages) << Algo;
+    EXPECT_GT(Loop.R.CollMessages, 0u) << Algo;
+    MaxRankFrames[Algo] = Loop.MaxRankCollMessages;
+  }
+  unsetenv("DHPF_COLL");
+  EXPECT_LT(MaxRankFrames["rdbl"], MaxRankFrames["naive"]);
+  EXPECT_LT(MaxRankFrames["tree"], MaxRankFrames["naive"]);
+}
 
 /// Rank-dump parser: malformed dumps are line-numbered errors, and a dump
 /// cut off mid-array is flagged as a likely mid-dump death.

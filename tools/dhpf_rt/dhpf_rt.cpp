@@ -22,6 +22,7 @@
 
 #include "core/InPlace.h"
 #include "net/Socket.h"
+#include "net/Tcp.h"
 #include "obs/Trace.h"
 #include "rt/Launch.h"
 #include "rt/RankEngine.h"
@@ -45,6 +46,7 @@ namespace {
 struct RtOptions {
   std::string SpmdPath;
   std::string MeshDir;
+  std::string HostsPath; ///< TCP rank spec; empty = Unix-socket mesh
   std::string ResultPath;
   long Rank = -1;
   rt::SessionOptions Session;
@@ -52,8 +54,8 @@ struct RtOptions {
 
 int usage() {
   std::cerr << "usage: dhpf_rt <prog.spmd> --rank=R --mesh <dir> "
-               "--result=<file> [--procs=a,b] [--param=k=v] "
-               "[--no-validity]\n";
+               "--result=<file> [--hosts=<spec>] [--procs=a,b] "
+               "[--param=k=v] [--no-validity]\n";
   return 2;
 }
 
@@ -79,6 +81,8 @@ bool parseArgs(int Argc, char **Argv, RtOptions &O) {
       O.Rank = std::strtol(V.c_str(), nullptr, 10);
     } else if (takeValue(Arg, "--mesh", Argc, Argv, I, V)) {
       O.MeshDir = V;
+    } else if (takeValue(Arg, "--hosts", Argc, Argv, I, V)) {
+      O.HostsPath = V;
     } else if (takeValue(Arg, "--result", Argc, Argv, I, V)) {
       O.ResultPath = V;
     } else if (takeValue(Arg, "--procs", Argc, Argv, I, V)) {
@@ -159,10 +163,18 @@ int main(int Argc, char **Argv) {
                 << L.NumProcs << " processors\n";
       return 1;
     }
-    net::SocketOptions SockOpts;
-    SockOpts.MeshDir = O.MeshDir;
-    std::unique_ptr<net::Transport> T = net::connectSocketMesh(
-        static_cast<unsigned>(O.Rank), L.NumProcs, SockOpts);
+    std::unique_ptr<net::Transport> T;
+    if (!O.HostsPath.empty()) {
+      net::TcpOptions TcpOpts;
+      TcpOpts.HostsPath = O.HostsPath;
+      T = net::connectTcpMesh(static_cast<unsigned>(O.Rank), L.NumProcs,
+                              TcpOpts);
+    } else {
+      net::SocketOptions SockOpts;
+      SockOpts.MeshDir = O.MeshDir;
+      T = net::connectSocketMesh(static_cast<unsigned>(O.Rank), L.NumProcs,
+                                 SockOpts);
+    }
 
     rt::RankConfig RC;
     RC.Run = S->Config;

@@ -23,12 +23,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Registry.h"
+#include "coll/Collective.h"
 #include "core/Compiler.h"
 #include "core/CompilerService.h"
 #include "core/InPlace.h"
 #include "hpf/HpfPrinter.h"
 #include "net/Server.h"
 #include "obs/Trace.h"
+#include "placement/Placement.h"
 #include "pset/OpCache.h"
 #include "rt/Daemon.h"
 #include "rt/Launch.h"
@@ -68,6 +70,8 @@ int usage(const char *Argv0) {
          "program\n"
       << "  launch <prog.spmd> [-p N]            execute across N rank "
          "processes over sockets\n"
+      << "  place <prog> [-p N]                  price every processor "
+         "shape by comm-set traffic\n"
       << "  pipeline <prog.hpf> [-p N]           compile + serialization "
          "round trip + run\n"
       << "  export [-d <dir>]                    write the benchmark "
@@ -105,6 +109,8 @@ int usage(const char *Argv0) {
       << "                       default DHPF_KERNEL_CACHE or "
          "~/.cache/dhpf-kernels)\n"
       << "  --param=<name=val>   bind a program parameter\n"
+      << "  --place              pick the processor shape with the "
+         "placement cost model\n"
       << "  --no-check           skip the serial reference check\n"
       << "  --no-validity        skip ownership/communication validation\n"
       << "  --stats              print message/byte/statement counts\n"
@@ -112,6 +118,13 @@ int usage(const char *Argv0) {
       << "launch options (plus the run options above):\n"
       << "  --rt-bin=<path>      dhpf_rt binary (default: DHPF_RT_BIN or "
          "next to dhpfc)\n"
+      << "  --hosts=<spec|auto>  TCP transport: host:port-per-rank spec "
+         "file, or 'auto'\n"
+      << "                       to reserve loopback ports (default: unix "
+         "sockets)\n"
+      << "  --coll=<algo>        reduction collective: naive | ring | rdbl "
+         "| tree | auto\n"
+      << "                       (default DHPF_COLL or auto)\n"
       << "  --timeout-ms=<n>     per-launch deadline (default "
          "DHPF_LAUNCH_TIMEOUT_MS or 60000)\n"
       << "  --keep-mesh          keep the mesh/result directory for "
@@ -150,7 +163,8 @@ int printVersion() {
               << spmd::native::KernelCache::compilerCommand()
               << "' unusable; native falls back to bytecode)";
   std::cout << "\n"
-            << "  transports: loopback unix-socket\n"
+            << "  transports: loopback unix-socket tcp\n"
+            << "  collectives: naive ring rdbl tree\n"
             << "  kernel cache: "
             << (Dir.empty() ? "disabled (in-memory only)" : Dir) << "\n";
   return 0;
@@ -214,6 +228,9 @@ struct CliOptions {
   std::string KernelCache; ///< --kernel-cache= native cache dir override
   std::string Server;  ///< --server= daemon socket (empty = in-process)
   std::string RtBin;   ///< --rt-bin override for launch
+  std::string Hosts;   ///< --hosts= TCP rank spec ('auto' = loopback)
+  std::string Coll;    ///< --coll= reduction collective algorithm
+  bool Place = false;  ///< --place: cost-model processor shape
   int TimeoutMs = 0;   ///< --timeout-ms launch deadline
   bool KeepMesh = false;
   std::string TracePath;   ///< --trace= (or DHPF_TRACE)
@@ -311,6 +328,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Params[V.substr(0, Eq)] = Val;
     } else if (Value(A, "--rt-bin=", V)) {
       O.RtBin = V;
+    } else if (Value(A, "--hosts=", V)) {
+      O.Hosts = V;
+    } else if (Value(A, "--coll=", V)) {
+      try {
+        coll::parseAlgo(V);
+      } catch (const net::TransportError &) {
+        std::cerr << "dhpfc: unknown collective '" << V
+                  << "' (want naive|ring|rdbl|tree|auto)\n";
+        return false;
+      }
+      O.Coll = V;
     } else if (Value(A, "--timeout-ms=", V)) {
       int64_t N;
       if (!parseInt(V, N) || N < 1) {
@@ -324,6 +352,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.MetricsPath = V;
     } else if (A == "--keep-mesh") {
       O.KeepMesh = true;
+    } else if (A == "--place") {
+      O.Place = true;
     } else if (A == "--no-split") {
       O.NoSplit = true;
     } else if (A == "--no-coalesce") {
@@ -481,6 +511,8 @@ void applyEngineEnv(const CliOptions &O) {
     ::setenv("DHPF_SPMD_ENGINE", O.Engine.c_str(), 1);
   if (!O.KernelCache.empty())
     ::setenv("DHPF_KERNEL_CACHE", O.KernelCache.c_str(), 1);
+  if (!O.Coll.empty())
+    ::setenv("DHPF_COLL", O.Coll.c_str(), 1);
 }
 
 rt::SessionOptions sessionOptions(const CliOptions &O) {
@@ -489,6 +521,7 @@ rt::SessionOptions sessionOptions(const CliOptions &O) {
   SO.ProcShape = O.ProcShape;
   SO.Params = O.Params;
   SO.CheckValidity = !O.NoValidity;
+  SO.UsePlacement = O.Place;
   return SO;
 }
 
@@ -515,6 +548,9 @@ void printRunStats(const spmd::RunResult &RR) {
   std::cout << "  span copies: " << RR.SpanCopies
             << ", packed copies: " << RR.PackedCopies
             << ", compute/comm overlap: " << RR.OverlapRatio << "\n";
+  if (RR.CollMessages != 0)
+    std::cout << "  collective frames: " << RR.CollMessages
+              << ", collective bytes: " << RR.CollBytes << "\n";
   for (const auto &Acc : RR.FinalAccums)
     std::cout << "  accum " << Acc.first << " = " << Acc.second << "\n";
 }
@@ -688,6 +724,7 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
   LO.SpmdPath = SpmdPath;
   LO.TimeoutMs = O.TimeoutMs;
   LO.KeepDir = O.KeepMesh;
+  LO.Hosts = O.Hosts;
   LO.Trace = obs::TraceBuffer::global().active();
   LO.RtBinary = rt::findRtBinary(O.RtBin, Argv0);
   if (LO.RtBinary.empty()) {
@@ -708,7 +745,8 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
   }
 
   printRunHeader(*S, (std::to_string(LR.NumRanks) +
-                      " rank processes over unix sockets")
+                      " rank processes over " +
+                      (O.Hosts.empty() ? "unix sockets" : "tcp"))
                          .c_str());
   if (O.Stats)
     printRunStats(LR.Merged.R);
@@ -738,6 +776,72 @@ int cmdLaunch(const CliOptions &O, const char *Argv0) {
   }
   if (!LR.Dir.empty())
     std::cout << "mesh directory kept at " << LR.Dir << "\n";
+  return 0;
+}
+
+/// Loads the input program for analysis commands: an .hpf source is
+/// compiled through the service, anything else is parsed as serialized
+/// SPMD. Null (with diagnostics printed) on failure.
+std::unique_ptr<spmd::SpmdProgram> loadProgram(const CliOptions &O) {
+  if (O.Input.size() > 4 &&
+      O.Input.compare(O.Input.size() - 4, 4, ".hpf") == 0) {
+    CompiledUnit CU;
+    if (!compileViaService(O.Input, O, CU))
+      return nullptr;
+    return reparseSpmd(CU.Spmd, O.Input + ":spmd");
+  }
+  std::string Text, Err;
+  if (!readFile(O.Input, Text, Err)) {
+    std::cerr << "dhpfc: " << Err << "\n";
+    return nullptr;
+  }
+  return reparseSpmd(Text, O.Input);
+}
+
+/// `dhpfc place`: enumerate every processor shape laying -p processors on
+/// the program's grid, price each by its comm-set traffic, and print the
+/// ranked table. The registry's hand-picked shape (when the program is a
+/// canonical benchmark) is flagged for comparison.
+int cmdPlace(const CliOptions &O) {
+  std::unique_ptr<spmd::SpmdProgram> SP = loadProgram(O);
+  if (!SP)
+    return 1;
+  std::string ProgName = SP->Source ? SP->Source->name() : "<unknown>";
+  std::vector<placement::Candidate> Cands = placement::searchShapes(
+      *SP, O.NumProcs, O.Params, placement::MachineCost());
+  if (Cands.empty()) {
+    std::cerr << "dhpfc: no shape lays " << O.NumProcs
+              << " processors onto the '" << SP->ProcName << "' grid\n";
+    return 1;
+  }
+  std::vector<int64_t> RegShape;
+  if (const apps::RegistryEntry *Reg = apps::findApp(ProgName))
+    RegShape = Reg->ProcShape(O.NumProcs);
+  auto ShapeStr = [](const std::vector<int64_t> &Sh) {
+    std::string S;
+    for (size_t D = 0; D != Sh.size(); ++D)
+      S += (D ? "x" : "") + std::to_string(Sh[D]);
+    return S;
+  };
+  std::cout << "placement for '" << ProgName << "' on " << O.NumProcs
+            << " procs (" << Cands.size() << " candidate shape"
+            << (Cands.size() == 1 ? "" : "s") << "):\n";
+  std::printf("  %-10s %10s %12s %14s %12s\n", "shape", "msgs", "bytes",
+              "max-rank B", "est cost");
+  for (size_t I = 0; I != Cands.size(); ++I) {
+    const placement::Candidate &C = Cands[I];
+    std::string Tags;
+    if (I == 0)
+      Tags += "  <- placed";
+    if (!RegShape.empty() && C.Shape == RegShape)
+      Tags += "  (registry)";
+    std::printf("  %-10s %10llu %12llu %14llu %12.3e%s\n",
+                ShapeStr(C.Shape).c_str(),
+                static_cast<unsigned long long>(C.Traffic.totalMessages()),
+                static_cast<unsigned long long>(C.Traffic.totalBytes()),
+                static_cast<unsigned long long>(C.Traffic.maxRankBytes()),
+                C.Cost, Tags.c_str());
+  }
   return 0;
 }
 
@@ -918,6 +1022,8 @@ int dispatch(const std::string &Cmd, const CliOptions &O, const char *Argv0) {
     return cmdRun(O);
   if (Cmd == "launch")
     return cmdLaunch(O, Argv0);
+  if (Cmd == "place")
+    return cmdPlace(O);
   if (Cmd == "pipeline")
     return cmdPipeline(O);
   std::cerr << "dhpfc: unknown command '" << Cmd << "'\n";
